@@ -1,0 +1,105 @@
+// Package secureloop is the public API of SecureLoop-Go, a from-scratch
+// reproduction of "SecureLoop: Design Space Exploration of Secure DNN
+// Accelerators" (MICRO 2023). It schedules DNN workloads onto spatial
+// accelerators whose off-chip traffic passes through AES-GCM cryptographic
+// engines, searching loopnest schedules, authentication-block assignments
+// and cross-layer combinations for the best secure design.
+//
+// The typical flow:
+//
+//	net := secureloop.MobileNetV2()
+//	spec := secureloop.BaseArch()
+//	crypto := secureloop.CryptoConfig{Engine: secureloop.ParallelEngine(), CountPerDatatype: 1}
+//	s := secureloop.NewScheduler(spec, crypto)
+//	res, err := s.ScheduleNetwork(net, secureloop.CryptOptCross)
+//
+// The result carries per-layer loopnest schedules, AuthBlock assignments,
+// latency/energy statistics and the authentication-traffic breakdown.
+// Deeper functionality (the AuthBlock search, the roofline model, the
+// design-space sweeps, the functional AES-GCM data path) lives in the
+// internal packages and is exercised by the cmd/ binaries and examples/.
+package secureloop
+
+import (
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/workload"
+)
+
+// Scheduler runs the three-step SecureLoop search (crypto-aware loopnest
+// scheduling, optimal AuthBlock assignment, cross-layer annealing).
+type Scheduler = core.Scheduler
+
+// NetworkResult is a scheduled network with totals and per-layer schedules.
+type NetworkResult = core.NetworkResult
+
+// LayerResult is one layer's schedule and cost.
+type LayerResult = core.LayerResult
+
+// Algorithm selects a Table 1 scheduling algorithm.
+type Algorithm = core.Algorithm
+
+// The scheduling algorithms (paper Table 1) plus the unsecure baseline.
+const (
+	Unsecure        = core.Unsecure
+	CryptTileSingle = core.CryptTileSingle
+	CryptOptSingle  = core.CryptOptSingle
+	CryptOptCross   = core.CryptOptCross
+)
+
+// Objective selects the fine-tuning cost function.
+type Objective = core.Objective
+
+// The fine-tuning objectives.
+const (
+	MinLatency = core.MinLatency
+	MinEDP     = core.MinEDP
+)
+
+// ArchSpec describes a spatial DNN accelerator.
+type ArchSpec = arch.Spec
+
+// DRAMTech is an off-chip memory technology.
+type DRAMTech = arch.DRAMTech
+
+// CryptoConfig deploys AES-GCM engines (one group per datatype).
+type CryptoConfig = cryptoengine.Config
+
+// CryptoEngine is one AES-GCM engine microarchitecture (Table 2).
+type CryptoEngine = cryptoengine.EngineArch
+
+// Network is a DNN workload with its segment structure.
+type Network = workload.Network
+
+// Layer is one convolutional layer.
+type Layer = workload.Layer
+
+// NewScheduler returns a scheduler with the paper's default knobs (k=6,
+// 1000 annealing iterations).
+func NewScheduler(spec ArchSpec, crypto CryptoConfig) *Scheduler {
+	return core.New(spec, crypto)
+}
+
+// BaseArch returns the paper's base configuration: Eyeriss-derived 14x12 PE
+// array, 131 kB buffer, LPDDR4 at 64 B/cycle, 100 MHz.
+func BaseArch() ArchSpec { return arch.Base() }
+
+// The Table 2 cryptographic engines.
+func PipelinedEngine() CryptoEngine { return cryptoengine.Pipelined() }
+func ParallelEngine() CryptoEngine  { return cryptoengine.Parallel() }
+func SerialEngine() CryptoEngine    { return cryptoengine.Serial() }
+
+// The evaluation workloads (VGG16 is an extension beyond the paper's set).
+func AlexNet() *Network     { return workload.AlexNet() }
+func ResNet18() *Network    { return workload.ResNet18() }
+func MobileNetV2() *Network { return workload.MobileNetV2() }
+func VGG16() *Network       { return workload.VGG16() }
+
+// NetworkByName resolves "alexnet", "resnet18", "mobilenetv2" or "vgg16".
+func NetworkByName(name string) (*Network, error) { return workload.ByName(name) }
+
+// LoadNetworkJSON reads a custom network description (see the JSON schema
+// in internal/workload: layers with c/m/r/s/p/q, stride, pad, depthwise,
+// cut_after segment markers).
+func LoadNetworkJSON(path string) (*Network, error) { return workload.LoadJSON(path) }

@@ -1,0 +1,177 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its experiment through the same
+// code path as cmd/experiments and reports the headline quantities as
+// custom metrics, so `go test -bench=. -benchmem` reproduces the paper's
+// result set end to end. The experiments are macro-scale: expect minutes,
+// not microseconds, for the scheduling figures.
+package secureloop_test
+
+import (
+	"strconv"
+	"testing"
+
+	"secureloop/internal/core"
+	"secureloop/internal/experiments"
+)
+
+// benchOpts selects full-fidelity runs; use -short for reduced fidelity.
+func benchOpts() experiments.Options {
+	return experiments.Options{Quick: testing.Short()}
+}
+
+// BenchmarkFig3AESCatalog regenerates Figure 3 (AES implementation
+// trade-off space) and reports the catalog span.
+func BenchmarkFig3AESCatalog(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig3()
+		if len(t.Rows) != 10 {
+			b.Fatalf("%d designs", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkTable2EngineSpecs regenerates Table 2.
+func BenchmarkTable2EngineSpecs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table2()
+		if len(t.Rows) != 3 {
+			b.Fatalf("%d engines", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig9AuthBlockSweep regenerates Figure 9 (off-chip traffic vs
+// AuthBlock size and orientation) and reports the optimal sizes.
+func BenchmarkFig9AuthBlockSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, v := experiments.Fig9()
+		b.ReportMetric(bestU(b, h), "best_u_horizontal")
+		b.ReportMetric(bestU(b, v), "best_u_vertical")
+	}
+}
+
+func bestU(b *testing.B, t experiments.Table) float64 {
+	b.Helper()
+	bestU, bestTotal := 0.0, 1e18
+	for _, r := range t.Rows {
+		u, err1 := strconv.ParseFloat(r[0], 64)
+		total, err2 := strconv.ParseFloat(r[3], 64)
+		if err1 != nil || err2 != nil {
+			b.Fatalf("bad row %v", r)
+		}
+		if total < bestTotal {
+			bestTotal, bestU = total, u
+		}
+	}
+	return bestU
+}
+
+// BenchmarkFig10AnnealK regenerates Figure 10 (annealing speedup vs k on
+// MobileNetV2) and reports the speedup at the paper's chosen k=6.
+func BenchmarkFig10AnnealK(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig10(benchOpts())
+		for _, r := range t.Rows {
+			if r[0] == "6" {
+				v, _ := strconv.ParseFloat(r[1], 64)
+				b.ReportMetric(v, "speedup_pct_k6")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11Schedulers regenerates Figure 11 (scheduling-algorithm
+// comparison) and reports the normalized latencies and headline gains.
+func BenchmarkFig11Schedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, results := experiments.Fig11(benchOpts())
+		for _, r := range results {
+			b.ReportMetric(r.NormLatency[core.CryptTileSingle], r.Workload+"_tile")
+			b.ReportMetric(r.NormLatency[core.CryptOptCross], r.Workload+"_cross")
+		}
+		var maxSpeedup, maxEDP float64
+		for _, r := range results {
+			if r.SpeedupPct > maxSpeedup {
+				maxSpeedup = r.SpeedupPct
+			}
+			if r.EDPImprovementPct > maxEDP {
+				maxEDP = r.EDPImprovementPct
+			}
+		}
+		// Paper headline: up to 33.2% speedup and 50.2% EDP improvement.
+		b.ReportMetric(maxSpeedup, "max_speedup_pct")
+		b.ReportMetric(maxEDP, "max_edp_gain_pct")
+	}
+}
+
+// BenchmarkFig12Roofline regenerates Figure 12.
+func BenchmarkFig12Roofline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig12(benchOpts())
+		if len(t.Rows) < 12 {
+			b.Fatalf("%d roofline rows", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig13CryptoConfigs regenerates Figure 13 (crypto engine
+// configurations) and reports the MobileNetV2 slowdown spread.
+func BenchmarkFig13CryptoConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig13(benchOpts())
+		var worst float64
+		for _, r := range t.Rows {
+			v, _ := strconv.ParseFloat(r[2], 64)
+			if v > worst {
+				worst = v
+			}
+		}
+		b.ReportMetric(worst, "worst_slowdown")
+	}
+}
+
+// BenchmarkFig14PEScaling regenerates Figure 14 (PE array scaling).
+func BenchmarkFig14PEScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig14(benchOpts())
+		if len(t.Rows) != 9 {
+			b.Fatalf("%d rows", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig15BufferScaling regenerates Figure 15 (buffer scaling).
+func BenchmarkFig15BufferScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.Fig15(benchOpts())
+		if len(t.Rows) != 9 {
+			b.Fatalf("%d rows", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkDRAMTechnologies regenerates the Section 5.2 DRAM study.
+func BenchmarkDRAMTechnologies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := experiments.DRAMStudy(benchOpts())
+		if len(t.Rows) != 3 {
+			b.Fatalf("%d DRAM rows", len(t.Rows))
+		}
+	}
+}
+
+// BenchmarkFig16Pareto regenerates Figure 16 (area vs performance) and
+// reports the Pareto-front size.
+func BenchmarkFig16Pareto(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, points := experiments.Fig16(benchOpts())
+		front := 0
+		for _, p := range points {
+			if p.Pareto {
+				front++
+			}
+		}
+		b.ReportMetric(float64(front), "pareto_points")
+		b.ReportMetric(float64(len(points)), "design_points")
+	}
+}

@@ -1,0 +1,95 @@
+// Command dse runs the design-space exploration of the paper's Section 5.3:
+// it sweeps PE-array shapes, global-buffer sizes and cryptographic-engine
+// configurations on a workload, and reports every design point's area,
+// latency and slowdown with the Pareto front marked (Figure 16).
+//
+// Usage:
+//
+//	dse [-workload alexnet] [-iters 200] [-pareto-only] [-csv out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"secureloop/internal/accelergy"
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/dse"
+	"secureloop/internal/workload"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "alexnet", "workload: alexnet, resnet18, mobilenetv2, vgg16")
+		iters        = flag.Int("iters", 200, "annealing iterations per design point")
+		paretoOnly   = flag.Bool("pareto-only", false, "print only the Pareto front")
+		csvPath      = flag.String("csv", "", "write the sweep as CSV")
+	)
+	flag.Parse()
+
+	net, err := workload.ByName(*workloadName)
+	if err != nil {
+		fatal(err)
+	}
+	specs, cryptos := dse.Figure16Space(arch.Base())
+
+	var points []dse.DesignPoint
+	for _, spec := range specs {
+		for _, cfg := range cryptos {
+			s := core.New(spec, cfg)
+			s.Anneal.Iterations = *iters
+			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+			if err != nil {
+				fatal(err)
+			}
+			base, err := s.ScheduleNetwork(net, core.Unsecure)
+			if err != nil {
+				fatal(err)
+			}
+			points = append(points, dse.DesignPoint{
+				Spec: spec, Crypto: cfg,
+				AreaMM2: accelergy.TotalAreaMM2(
+					spec.NumPEs(), spec.GlobalBufferBytes, cfg.TotalAreaKGates()),
+				CryptoAreaOverheadPct: accelergy.CryptoAreaOverheadPercent(
+					cfg.TotalAreaKGates(), spec.NumPEs()),
+				Cycles:         res.Total.Cycles,
+				EnergyPJ:       res.Total.EnergyPJ,
+				UnsecureCycles: base.Total.Cycles,
+			})
+			fmt.Fprintf(os.Stderr, ".")
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+	dse.MarkPareto(points)
+
+	var csv strings.Builder
+	csv.WriteString("design,area_mm2,cycles,slowdown,energy_uj,pareto\n")
+	fmt.Printf("%-38s %10s %12s %10s %12s %7s\n", "design", "area_mm2", "cycles", "slowdown", "energy_uJ", "pareto")
+	for _, p := range points {
+		if *paretoOnly && !p.Pareto {
+			continue
+		}
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		fmt.Printf("%-38s %10.3f %12d %10.3f %12.3f %7s\n",
+			p.Label(), p.AreaMM2, p.Cycles, p.Slowdown(), p.EnergyPJ/1e6, mark)
+		fmt.Fprintf(&csv, "%s,%.4f,%d,%.4f,%.4f,%v\n",
+			p.Label(), p.AreaMM2, p.Cycles, p.Slowdown(), p.EnergyPJ/1e6, p.Pareto)
+	}
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(csv.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dse:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures as aligned text (stdout) and CSV files.
+//
+// Usage:
+//
+//	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-out results]
+//
+// -quick trades fidelity for speed (fewer annealing iterations and seeds);
+// use it for smoke runs. The full run regenerates every experiment at
+// paper-scale settings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"secureloop/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run (all, 3, t2, 9, 10, 11, 12, 13, 14, 15, 16, dram, hashsize)")
+	quick := flag.Bool("quick", false, "reduced-fidelity fast run")
+	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	run := func(id string, fn func() []experiments.Table) {
+		if !all && !want[id] {
+			return
+		}
+		start := time.Now()
+		for _, t := range fn() {
+			fmt.Println(t.Text())
+			if *out != "" {
+				if err := os.MkdirAll(*out, 0o755); err != nil {
+					fatal(err)
+				}
+				path := filepath.Join(*out, t.Name+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					fatal(err)
+				}
+				fmt.Printf("wrote %s\n\n", path)
+			}
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("3", func() []experiments.Table { return []experiments.Table{experiments.Fig3()} })
+	run("t2", func() []experiments.Table { return []experiments.Table{experiments.Table2()} })
+	run("9", func() []experiments.Table {
+		h, v := experiments.Fig9()
+		return []experiments.Table{h, v}
+	})
+	run("10", func() []experiments.Table { return []experiments.Table{experiments.Fig10(opts)} })
+	run("11", func() []experiments.Table {
+		a, b, _ := experiments.Fig11(opts)
+		return []experiments.Table{a, b}
+	})
+	run("12", func() []experiments.Table { return []experiments.Table{experiments.Fig12(opts)} })
+	run("13", func() []experiments.Table { return []experiments.Table{experiments.Fig13(opts)} })
+	run("14", func() []experiments.Table { return []experiments.Table{experiments.Fig14(opts)} })
+	run("15", func() []experiments.Table { return []experiments.Table{experiments.Fig15(opts)} })
+	run("dram", func() []experiments.Table { return []experiments.Table{experiments.DRAMStudy(opts)} })
+	run("16", func() []experiments.Table {
+		t, _ := experiments.Fig16(opts)
+		return []experiments.Table{t}
+	})
+	run("hashsize", func() []experiments.Table { return []experiments.Table{experiments.HashSizeStudy(opts)} })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module secureloop
+
+go 1.22

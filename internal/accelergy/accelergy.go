@@ -1,0 +1,80 @@
+// Package accelergy provides architecture-level energy and area estimation
+// for the accelerator components, standing in for the Accelergy tool the
+// paper uses ("Accelergy is used to estimate energy and area of each
+// component on the DNN accelerator, assuming 40/45nm technology it
+// supports", Section 5.1). The tables are seeded with per-access energies
+// and component areas representative of that technology class; as with the
+// paper, only the relative magnitudes drive the design-space conclusions.
+package accelergy
+
+import "math"
+
+// Energy table, picojoules, 40/45 nm class, 8-bit datapath.
+const (
+	// MACEnergyPJ is one 8-bit multiply-accumulate.
+	MACEnergyPJ = 0.2
+	// RFEnergyPJ is one 8-bit register-file access (512 B scratchpad).
+	RFEnergyPJ = 0.12
+	// glbEnergyBasePJ and glbEnergyScalePJ parameterise SRAM access energy
+	// as base + scale*sqrt(capacity/16kB): larger arrays have longer
+	// bitlines and heavier decoders.
+	glbEnergyBasePJ  = 0.6
+	glbEnergyScalePJ = 1.5
+)
+
+// GLBEnergyPJ returns the energy of one 8-bit global-buffer access for a
+// buffer of the given capacity.
+func GLBEnergyPJ(capacityBytes int) float64 {
+	ratio := float64(capacityBytes) / (16 * 1024)
+	if ratio < 0 {
+		ratio = 0
+	}
+	return glbEnergyBasePJ + glbEnergyScalePJ*math.Sqrt(ratio)
+}
+
+// Area model (mm^2, 40 nm class).
+const (
+	// PEAreaMM2 is one processing element including its register file.
+	PEAreaMM2 = 0.004
+	// SRAMAreaMM2PerKB is on-chip SRAM density.
+	SRAMAreaMM2PerKB = 0.003
+	// MM2PerKGate converts equivalent-gate counts (crypto engines) to area.
+	MM2PerKGate = 0.0012
+	// FixedAreaMM2 covers the NoC, control and I/O that every design pays.
+	FixedAreaMM2 = 1.2
+
+	// PELogicKGates is the logic-gate count of one PE, used for the
+	// gate-count-relative crypto area overhead of Figure 13 (the paper's
+	// Section 3.1 reports a 3x pipelined AES-GCM config at 416.7 kGates,
+	// "approximately 35% of the logic gates in Eyeriss"; with 168 PEs at 7
+	// kGates each that ratio is reproduced exactly).
+	PELogicKGates = 7.0
+)
+
+// AcceleratorAreaMM2 returns the die area of an accelerator with the given
+// PE count and global-buffer capacity, excluding cryptographic engines.
+func AcceleratorAreaMM2(numPEs int, glbBytes int) float64 {
+	return FixedAreaMM2 +
+		float64(numPEs)*PEAreaMM2 +
+		float64(glbBytes)/1024*SRAMAreaMM2PerKB
+}
+
+// CryptoAreaMM2 converts a crypto-engine gate count to area.
+func CryptoAreaMM2(totalKGates float64) float64 {
+	return totalKGates * MM2PerKGate
+}
+
+// TotalAreaMM2 returns the complete secure-accelerator area.
+func TotalAreaMM2(numPEs, glbBytes int, cryptoKGates float64) float64 {
+	return AcceleratorAreaMM2(numPEs, glbBytes) + CryptoAreaMM2(cryptoKGates)
+}
+
+// CryptoAreaOverheadPercent returns the Figure 13 metric: crypto-engine
+// gates relative to the accelerator's logic gates.
+func CryptoAreaOverheadPercent(cryptoKGates float64, numPEs int) float64 {
+	logic := float64(numPEs) * PELogicKGates
+	if logic <= 0 {
+		return 0
+	}
+	return 100 * cryptoKGates / logic
+}

@@ -1,0 +1,72 @@
+package accelergy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGLBEnergyMonotone(t *testing.T) {
+	sizes := []int{16 * 1024, 32 * 1024, 131 * 1024, 512 * 1024}
+	prev := 0.0
+	for _, s := range sizes {
+		e := GLBEnergyPJ(s)
+		if e <= prev {
+			t.Errorf("GLB energy not increasing at %d bytes: %g <= %g", s, e, prev)
+		}
+		prev = e
+	}
+	if GLBEnergyPJ(16*1024) != glbEnergyBasePJ+glbEnergyScalePJ {
+		t.Error("16kB anchor wrong")
+	}
+}
+
+func TestAreaComposition(t *testing.T) {
+	a := AcceleratorAreaMM2(168, 131*1024)
+	want := FixedAreaMM2 + 168*PEAreaMM2 + 131*SRAMAreaMM2PerKB
+	if math.Abs(a-want) > 1e-9 {
+		t.Errorf("area = %g, want %g", a, want)
+	}
+	total := TotalAreaMM2(168, 131*1024, 416.7)
+	if math.Abs(total-(a+416.7*MM2PerKGate)) > 1e-9 {
+		t.Errorf("total = %g", total)
+	}
+}
+
+func TestFigure16AreaRange(t *testing.T) {
+	// The design points of Figure 16 span roughly 2-5.5 mm^2; our area
+	// model must place the smallest and largest swept designs in that
+	// range.
+	small := TotalAreaMM2(168, 16*1024, 3*(9.2+9.7))      // 14x12, 16kB, parallel x1
+	large := TotalAreaMM2(672, 131*1024, 2*3*(78.8+60.1)) // 28x24, 131kB, pipelined x2
+	if small < 1.5 || small > 3 {
+		t.Errorf("small design area %g out of plausible range", small)
+	}
+	if large < 4 || large > 7 {
+		t.Errorf("large design area %g out of plausible range", large)
+	}
+	if large <= small {
+		t.Error("area ordering inverted")
+	}
+}
+
+func TestSection31AreaOverhead(t *testing.T) {
+	// Section 3.1: 416.7 kGates of pipelined AES-GCM is ~35% of the logic
+	// gates of an Eyeriss-class (168 PE) accelerator.
+	got := CryptoAreaOverheadPercent(416.7, 168)
+	if math.Abs(got-35.4) > 0.5 {
+		t.Errorf("overhead = %g%%, want ~35%%", got)
+	}
+	if CryptoAreaOverheadPercent(100, 0) != 0 {
+		t.Error("zero PEs should report zero overhead")
+	}
+}
+
+func TestEnergyOrdering(t *testing.T) {
+	// Hierarchy sanity: RF < GLB access energy, MAC is cheap.
+	if RFEnergyPJ >= GLBEnergyPJ(16*1024) {
+		t.Error("RF access should be cheaper than GLB access")
+	}
+	if MACEnergyPJ >= GLBEnergyPJ(131*1024) {
+		t.Error("MAC should be cheaper than a large-GLB access")
+	}
+}

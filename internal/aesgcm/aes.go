@@ -1,0 +1,269 @@
+// Package aesgcm is a from-scratch implementation of AES-128 and the Galois
+// Counter Mode (GCM) of operation — the authenticated-encryption protocol
+// the paper's cryptographic engines implement (Section 2.2, Figure 2). It
+// exists as the functional substrate behind the engine *timing* models in
+// package cryptoengine: the trace-level simulator uses it to actually
+// encrypt tiles, compute authentication tags over AuthBlocks and verify
+// them, so the data path the scheduler reasons about is exercised for real.
+//
+// The implementation is deliberately structured like the hardware the paper
+// models: an AES core generating one-time pads from encryption seeds
+// (counter + address + IV), XOR combination with plaintext/ciphertext, and a
+// GF(2^128) multiplier absorbing ciphertext blocks into the GHASH tag.
+// Correctness is validated against the Go standard library in the tests.
+package aesgcm
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// BlockSize is the AES block size in bytes.
+const BlockSize = 16
+
+// KeySize is the AES-128 key size in bytes.
+const KeySize = 16
+
+const rounds = 10 // AES-128
+
+// sbox and invSbox are generated at init time from the GF(2^8)
+// multiplicative inverse followed by the AES affine transform, rather than
+// being pasted as opaque tables.
+var sbox, invSbox [256]byte
+
+func init() {
+	// Build log/antilog tables for GF(2^8) with the AES polynomial x^8 + x^4
+	// + x^3 + x + 1 (0x11b), using generator 3.
+	var exp [256]byte
+	var log [256]byte
+	x := byte(1)
+	for i := 0; i < 255; i++ {
+		exp[i] = x
+		log[x] = byte(i)
+		// multiply x by 3 = x*2 ^ x
+		x2 := x << 1
+		if x&0x80 != 0 {
+			x2 ^= 0x1b
+		}
+		x = x2 ^ x
+	}
+	inv := func(b byte) byte {
+		if b == 0 {
+			return 0
+		}
+		// The multiplicative group has order 255, so b^-1 = g^(255 - log b)
+		// with the exponent taken mod 255 (log 1 == 0 must map to exp[0]).
+		return exp[(255-int(log[b]))%255]
+	}
+	rotl := func(b byte, n uint) byte { return b<<n | b>>(8-n) }
+	for i := 0; i < 256; i++ {
+		v := inv(byte(i))
+		s := v ^ rotl(v, 1) ^ rotl(v, 2) ^ rotl(v, 3) ^ rotl(v, 4) ^ 0x63
+		sbox[i] = s
+		invSbox[s] = byte(i)
+	}
+}
+
+// Cipher is an expanded AES-128 key schedule.
+type Cipher struct {
+	enc [4 * (rounds + 1)]uint32
+	dec [4 * (rounds + 1)]uint32
+}
+
+// ErrKeySize is returned by NewCipher for keys that are not 16 bytes.
+var ErrKeySize = errors.New("aesgcm: key must be 16 bytes (AES-128)")
+
+// NewCipher expands the given 128-bit key.
+func NewCipher(key []byte) (*Cipher, error) {
+	if len(key) != KeySize {
+		return nil, ErrKeySize
+	}
+	c := &Cipher{}
+	c.expandKey(key)
+	return c, nil
+}
+
+func subWord(w uint32) uint32 {
+	return uint32(sbox[w>>24])<<24 | uint32(sbox[w>>16&0xff])<<16 |
+		uint32(sbox[w>>8&0xff])<<8 | uint32(sbox[w&0xff])
+}
+
+func rotWord(w uint32) uint32 { return w<<8 | w>>24 }
+
+// xtime multiplies a GF(2^8) element by x (i.e. by 2).
+func xtime(b byte) byte {
+	if b&0x80 != 0 {
+		return b<<1 ^ 0x1b
+	}
+	return b << 1
+}
+
+// gmul multiplies two GF(2^8) elements.
+func gmul(a, b byte) byte {
+	var p byte
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		a = xtime(a)
+		b >>= 1
+	}
+	return p
+}
+
+func (c *Cipher) expandKey(key []byte) {
+	n := KeySize / 4
+	for i := 0; i < n; i++ {
+		c.enc[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	rcon := uint32(1) << 24
+	for i := n; i < len(c.enc); i++ {
+		t := c.enc[i-1]
+		if i%n == 0 {
+			t = subWord(rotWord(t)) ^ rcon
+			// rcon doubles in GF(2^8) each round.
+			hi := byte(rcon >> 24)
+			rcon = uint32(xtime(hi)) << 24
+		}
+		c.enc[i] = c.enc[i-n] ^ t
+	}
+	// Equivalent inverse cipher key schedule: reverse round order and apply
+	// InvMixColumns to the middle round keys.
+	for i := 0; i < len(c.dec); i += 4 {
+		src := len(c.enc) - i - 4
+		for j := 0; j < 4; j++ {
+			w := c.enc[src+j]
+			if i > 0 && i < len(c.dec)-4 {
+				w = invMixColumnWord(w)
+			}
+			c.dec[i+j] = w
+		}
+	}
+}
+
+func invMixColumnWord(w uint32) uint32 {
+	var col [4]byte
+	binary.BigEndian.PutUint32(col[:], w)
+	var out [4]byte
+	for i := 0; i < 4; i++ {
+		out[i] = gmul(col[i], 0x0e) ^ gmul(col[(i+1)%4], 0x0b) ^
+			gmul(col[(i+2)%4], 0x0d) ^ gmul(col[(i+3)%4], 0x09)
+	}
+	return binary.BigEndian.Uint32(out[:])
+}
+
+// Encrypt encrypts one 16-byte block from src into dst (which may alias).
+func (c *Cipher) Encrypt(dst, src []byte) {
+	var s [4][4]byte // state: s[row][col]
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			s[row][col] = src[4*col+row]
+		}
+	}
+	addRoundKey(&s, c.enc[0:4])
+	for r := 1; r < rounds; r++ {
+		subBytes(&s)
+		shiftRows(&s)
+		mixColumns(&s)
+		addRoundKey(&s, c.enc[4*r:4*r+4])
+	}
+	subBytes(&s)
+	shiftRows(&s)
+	addRoundKey(&s, c.enc[4*rounds:4*rounds+4])
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			dst[4*col+row] = s[row][col]
+		}
+	}
+}
+
+// Decrypt decrypts one 16-byte block from src into dst (which may alias).
+func (c *Cipher) Decrypt(dst, src []byte) {
+	var s [4][4]byte
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			s[row][col] = src[4*col+row]
+		}
+	}
+	addRoundKey(&s, c.dec[0:4])
+	for r := 1; r < rounds; r++ {
+		invSubBytes(&s)
+		invShiftRows(&s)
+		invMixColumns(&s)
+		addRoundKey(&s, c.dec[4*r:4*r+4])
+	}
+	invSubBytes(&s)
+	invShiftRows(&s)
+	addRoundKey(&s, c.dec[4*rounds:4*rounds+4])
+	for col := 0; col < 4; col++ {
+		for row := 0; row < 4; row++ {
+			dst[4*col+row] = s[row][col]
+		}
+	}
+}
+
+func addRoundKey(s *[4][4]byte, rk []uint32) {
+	for col := 0; col < 4; col++ {
+		w := rk[col]
+		s[0][col] ^= byte(w >> 24)
+		s[1][col] ^= byte(w >> 16)
+		s[2][col] ^= byte(w >> 8)
+		s[3][col] ^= byte(w)
+	}
+}
+
+func subBytes(s *[4][4]byte) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = sbox[s[r][c]]
+		}
+	}
+}
+
+func invSubBytes(s *[4][4]byte) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			s[r][c] = invSbox[s[r][c]]
+		}
+	}
+}
+
+func shiftRows(s *[4][4]byte) {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[c] = s[r][(c+r)%4]
+		}
+		s[r] = tmp
+	}
+}
+
+func invShiftRows(s *[4][4]byte) {
+	for r := 1; r < 4; r++ {
+		var tmp [4]byte
+		for c := 0; c < 4; c++ {
+			tmp[(c+r)%4] = s[r][c]
+		}
+		s[r] = tmp
+	}
+}
+
+func mixColumns(s *[4][4]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = xtime(a0) ^ (xtime(a1) ^ a1) ^ a2 ^ a3
+		s[1][c] = a0 ^ xtime(a1) ^ (xtime(a2) ^ a2) ^ a3
+		s[2][c] = a0 ^ a1 ^ xtime(a2) ^ (xtime(a3) ^ a3)
+		s[3][c] = (xtime(a0) ^ a0) ^ a1 ^ a2 ^ xtime(a3)
+	}
+}
+
+func invMixColumns(s *[4][4]byte) {
+	for c := 0; c < 4; c++ {
+		a0, a1, a2, a3 := s[0][c], s[1][c], s[2][c], s[3][c]
+		s[0][c] = gmul(a0, 0x0e) ^ gmul(a1, 0x0b) ^ gmul(a2, 0x0d) ^ gmul(a3, 0x09)
+		s[1][c] = gmul(a0, 0x09) ^ gmul(a1, 0x0e) ^ gmul(a2, 0x0b) ^ gmul(a3, 0x0d)
+		s[2][c] = gmul(a0, 0x0d) ^ gmul(a1, 0x09) ^ gmul(a2, 0x0e) ^ gmul(a3, 0x0b)
+		s[3][c] = gmul(a0, 0x0b) ^ gmul(a1, 0x0d) ^ gmul(a2, 0x09) ^ gmul(a3, 0x0e)
+	}
+}

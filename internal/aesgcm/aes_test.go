@@ -1,0 +1,261 @@
+package aesgcm
+
+import (
+	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSBoxKnownValues(t *testing.T) {
+	// Spot checks against the FIPS-197 S-box.
+	cases := map[byte]byte{
+		0x00: 0x63, 0x01: 0x7c, 0x53: 0xed, 0xff: 0x16, 0x9a: 0xb8, 0xc2: 0x25,
+	}
+	for in, want := range cases {
+		if got := sbox[in]; got != want {
+			t.Errorf("sbox[%#02x] = %#02x, want %#02x", in, got, want)
+		}
+	}
+}
+
+func TestSBoxInverse(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if got := invSbox[sbox[i]]; got != byte(i) {
+			t.Fatalf("invSbox[sbox[%#02x]] = %#02x", i, got)
+		}
+	}
+	// The S-box must be a permutation.
+	var seen [256]bool
+	for i := 0; i < 256; i++ {
+		if seen[sbox[i]] {
+			t.Fatalf("sbox value %#02x repeated", sbox[i])
+		}
+		seen[sbox[i]] = true
+	}
+}
+
+func TestAESFIPS197Vector(t *testing.T) {
+	// FIPS-197 Appendix B example vector.
+	key, _ := hex.DecodeString("2b7e151628aed2a6abf7158809cf4f3c")
+	pt, _ := hex.DecodeString("3243f6a8885a308d313198a2e0370734")
+	want, _ := hex.DecodeString("3925841d02dc09fbdc118597196a0b32")
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	c.Encrypt(got, pt)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("encrypt = %x, want %x", got, want)
+	}
+	dec := make([]byte, 16)
+	c.Decrypt(dec, got)
+	if !bytes.Equal(dec, pt) {
+		t.Fatalf("decrypt = %x, want %x", dec, pt)
+	}
+}
+
+func TestAESMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		key := make([]byte, 16)
+		pt := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(pt)
+		ours, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 16)
+		want := make([]byte, 16)
+		ours.Encrypt(got, pt)
+		ref.Encrypt(want, pt)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("key=%x pt=%x: encrypt = %x, want %x", key, pt, got, want)
+		}
+		back := make([]byte, 16)
+		ours.Decrypt(back, got)
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("key=%x: decrypt round trip failed", key)
+		}
+	}
+}
+
+func TestNewCipherRejectsBadKey(t *testing.T) {
+	for _, n := range []int{0, 8, 15, 17, 24, 32} {
+		if _, err := NewCipher(make([]byte, n)); err == nil {
+			t.Errorf("NewCipher accepted %d-byte key", n)
+		}
+	}
+}
+
+func TestGCMMatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		key := make([]byte, 16)
+		nonce := make([]byte, 12)
+		rng.Read(key)
+		rng.Read(nonce)
+		pt := make([]byte, rng.Intn(200))
+		rng.Read(pt)
+		ad := make([]byte, rng.Intn(40))
+		rng.Read(ad)
+
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGCM(c)
+		got, err := g.Seal(pt, nonce, ad, TagSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		ref, err := aes.NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refGCM, err := cipher.NewGCM(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := refGCM.Seal(nil, nonce, pt, ad)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("iter %d: Seal = %x, want %x", i, got, want)
+		}
+	}
+}
+
+func TestGCMRoundTripAndTamperDetection(t *testing.T) {
+	key := bytes.Repeat([]byte{0x42}, 16)
+	c, _ := NewCipher(key)
+	g := NewGCM(c)
+	nonce := Seed(7, 0x1000, 0xdeadbeef)
+	pt := []byte("ofmap tile contents: 0123456789abcdef")
+
+	for _, tagSize := range []int{8, 12, 16} {
+		sealed, err := g.Seal(pt, nonce[:], nil, tagSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := g.Open(sealed, nonce[:], nil, tagSize)
+		if err != nil {
+			t.Fatalf("tagSize %d: %v", tagSize, err)
+		}
+		if !bytes.Equal(back, pt) {
+			t.Fatalf("tagSize %d: round trip mismatch", tagSize)
+		}
+		// Flip each byte in turn: every tampering must be detected.
+		for i := range sealed {
+			tampered := append([]byte(nil), sealed...)
+			tampered[i] ^= 0x01
+			if _, err := g.Open(tampered, nonce[:], nil, tagSize); err == nil {
+				t.Fatalf("tagSize %d: tampering byte %d not detected", tagSize, i)
+			}
+		}
+	}
+}
+
+func TestGCMWrongNonceFails(t *testing.T) {
+	key := make([]byte, 16)
+	c, _ := NewCipher(key)
+	g := NewGCM(c)
+	n1 := Seed(1, 0, 0)
+	n2 := Seed(2, 0, 0) // different version counter
+	sealed, err := g.Seal([]byte("data"), n1[:], nil, TagSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Open(sealed, n2[:], nil, TagSize); err == nil {
+		t.Fatal("replay under a different counter was accepted")
+	}
+}
+
+func TestGCMRejectsBadParameters(t *testing.T) {
+	key := make([]byte, 16)
+	c, _ := NewCipher(key)
+	g := NewGCM(c)
+	if _, err := g.Seal([]byte("x"), make([]byte, 11), nil, 16); err == nil {
+		t.Error("Seal accepted 11-byte nonce")
+	}
+	if _, err := g.Seal([]byte("x"), make([]byte, 12), nil, 4); err == nil {
+		t.Error("Seal accepted 4-byte tag")
+	}
+	if _, err := g.Open([]byte("short"), make([]byte, 12), nil, 16); err == nil {
+		t.Error("Open accepted ciphertext shorter than tag")
+	}
+	if _, err := g.Open(make([]byte, 32), make([]byte, 12), nil, 20); err == nil {
+		t.Error("Open accepted oversized tag length")
+	}
+}
+
+func TestGCMMulProperties(t *testing.T) {
+	// Multiplication in GF(2^128) must be commutative and distribute over
+	// XOR (field addition).
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	fe := func(hi, lo uint64) fieldElement { return fieldElement{hi: hi, lo: lo} }
+	comm := func(ah, al, bh, bl uint64) bool {
+		a, b := fe(ah, al), fe(bh, bl)
+		return gcmMul(a, b) == gcmMul(b, a)
+	}
+	if err := quick.Check(comm, cfg); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	dist := func(ah, al, bh, bl, ch, cl uint64) bool {
+		a, b, c := fe(ah, al), fe(bh, bl), fe(ch, cl)
+		bc := fieldElement{hi: b.hi ^ c.hi, lo: b.lo ^ c.lo}
+		left := gcmMul(a, bc)
+		ab, ac := gcmMul(a, b), gcmMul(a, c)
+		right := fieldElement{hi: ab.hi ^ ac.hi, lo: ab.lo ^ ac.lo}
+		return left == right
+	}
+	if err := quick.Check(dist, cfg); err != nil {
+		t.Errorf("distributivity: %v", err)
+	}
+	assoc := func(ah, al, bh, bl, ch, cl uint64) bool {
+		a, b, c := fe(ah, al), fe(bh, bl), fe(ch, cl)
+		return gcmMul(gcmMul(a, b), c) == gcmMul(a, gcmMul(b, c))
+	}
+	if err := quick.Check(assoc, cfg); err != nil {
+		t.Errorf("associativity: %v", err)
+	}
+}
+
+func TestSeedComposition(t *testing.T) {
+	n := Seed(0x01020304, 0x0a0b0c0d, 0x11223344)
+	want := []byte{1, 2, 3, 4, 0x0a, 0x0b, 0x0c, 0x0d, 0x11, 0x22, 0x33, 0x44}
+	if !bytes.Equal(n[:], want) {
+		t.Fatalf("Seed = %x, want %x", n, want)
+	}
+}
+
+func BenchmarkAESEncryptBlock(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	src := make([]byte, 16)
+	dst := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.Encrypt(dst, src)
+	}
+}
+
+func BenchmarkGCMSeal1KiB(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	g := NewGCM(c)
+	nonce := make([]byte, 12)
+	pt := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Seal(pt, nonce, nil, TagSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

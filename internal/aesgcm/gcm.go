@@ -1,0 +1,211 @@
+package aesgcm
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// NonceSize is the standard GCM nonce (IV) length in bytes.
+const NonceSize = 12
+
+// TagSize is the full GCM authentication-tag length in bytes. Secure
+// accelerators commonly truncate tags (the AuthBlock analysis in this repo
+// defaults to 64-bit stored hashes); Open accepts truncated tags down to
+// MinTagSize.
+const TagSize = 16
+
+// MinTagSize is the smallest tag length Open accepts.
+const MinTagSize = 8
+
+// ErrAuthentication is returned when tag verification fails — the event a
+// data-corruption or RowHammer attack on the off-chip DRAM would trigger.
+var ErrAuthentication = errors.New("aesgcm: message authentication failed")
+
+// fieldElement is an element of GF(2^128) in GCM's bit-reflected
+// representation, split into two 64-bit halves (hi holds bits 0-63 of the
+// GCM polynomial ordering).
+type fieldElement struct {
+	hi, lo uint64
+}
+
+// gcmMul multiplies two GF(2^128) elements using the GCM polynomial
+// x^128 + x^7 + x^2 + x + 1. This is the bit-serial schoolbook algorithm —
+// the direct software analogue of the hardware Galois-field multiplier in
+// the paper's Figure 2.
+func gcmMul(x, y fieldElement) fieldElement {
+	var z fieldElement
+	v := x
+	for i := 0; i < 128; i++ {
+		// Bit i of y in GCM bit order: MSB-first within hi then lo.
+		var bit uint64
+		if i < 64 {
+			bit = y.hi >> (63 - uint(i)) & 1
+		} else {
+			bit = y.lo >> (127 - uint(i)) & 1
+		}
+		if bit == 1 {
+			z.hi ^= v.hi
+			z.lo ^= v.lo
+		}
+		// v = v * x (shift right in the reflected representation), reducing
+		// by the field polynomial when a bit falls off.
+		carry := v.lo & 1
+		v.lo = v.lo>>1 | v.hi<<63
+		v.hi >>= 1
+		if carry == 1 {
+			v.hi ^= 0xe100000000000000
+		}
+	}
+	return z
+}
+
+func feFromBytes(b []byte) fieldElement {
+	return fieldElement{
+		hi: binary.BigEndian.Uint64(b[0:8]),
+		lo: binary.BigEndian.Uint64(b[8:16]),
+	}
+}
+
+func (f fieldElement) bytes() [16]byte {
+	var out [16]byte
+	binary.BigEndian.PutUint64(out[0:8], f.hi)
+	binary.BigEndian.PutUint64(out[8:16], f.lo)
+	return out
+}
+
+// GCM is an AES-128-GCM authenticated-encryption instance.
+type GCM struct {
+	cipher *Cipher
+	h      fieldElement // hash subkey H = AES_K(0^128)
+}
+
+// NewGCM constructs a GCM instance over the given cipher.
+func NewGCM(c *Cipher) *GCM {
+	var zero, h [16]byte
+	c.Encrypt(h[:], zero[:])
+	return &GCM{cipher: c, h: feFromBytes(h[:])}
+}
+
+// ghash absorbs data (zero-padded to a block multiple) plus the standard
+// length block into the GHASH state and returns the result.
+func (g *GCM) ghash(additional, ciphertext []byte) fieldElement {
+	var y fieldElement
+	absorb := func(data []byte) {
+		for len(data) > 0 {
+			var block [16]byte
+			n := copy(block[:], data)
+			data = data[n:]
+			x := feFromBytes(block[:])
+			y.hi ^= x.hi
+			y.lo ^= x.lo
+			y = gcmMul(y, g.h)
+		}
+	}
+	absorb(additional)
+	absorb(ciphertext)
+	var lengths [16]byte
+	binary.BigEndian.PutUint64(lengths[0:8], uint64(len(additional))*8)
+	binary.BigEndian.PutUint64(lengths[8:16], uint64(len(ciphertext))*8)
+	x := feFromBytes(lengths[:])
+	y.hi ^= x.hi
+	y.lo ^= x.lo
+	return gcmMul(y, g.h)
+}
+
+// counterBlock builds the J0-derived counter block for counter value ctr.
+func counterBlock(nonce []byte, ctr uint32) [16]byte {
+	var b [16]byte
+	copy(b[:12], nonce)
+	binary.BigEndian.PutUint32(b[12:], ctr)
+	return b
+}
+
+// ctrXOR applies AES-CTR keystream starting at counter ctr to src into dst.
+func (g *GCM) ctrXOR(dst, src []byte, nonce []byte, ctr uint32) {
+	var pad [16]byte
+	for i := 0; i < len(src); i += 16 {
+		block := counterBlock(nonce, ctr)
+		g.cipher.Encrypt(pad[:], block[:])
+		n := len(src) - i
+		if n > 16 {
+			n = 16
+		}
+		for j := 0; j < n; j++ {
+			dst[i+j] = src[i+j] ^ pad[j]
+		}
+		ctr++
+	}
+}
+
+// Seal encrypts plaintext and returns ciphertext||tag. The nonce must be 12
+// bytes; in the accelerator it is the encryption seed composed of the data's
+// version counter, address and initialisation vector (paper Figure 2).
+// tagSize selects the stored tag length (MinTagSize..TagSize bytes).
+func (g *GCM) Seal(plaintext, nonce, additional []byte, tagSize int) ([]byte, error) {
+	if len(nonce) != NonceSize {
+		return nil, errors.New("aesgcm: nonce must be 12 bytes")
+	}
+	if tagSize < MinTagSize || tagSize > TagSize {
+		return nil, errors.New("aesgcm: tag size out of range")
+	}
+	out := make([]byte, len(plaintext)+tagSize)
+	g.ctrXOR(out[:len(plaintext)], plaintext, nonce, 2)
+	tag := g.tag(out[:len(plaintext)], nonce, additional)
+	copy(out[len(plaintext):], tag[:tagSize])
+	return out, nil
+}
+
+// Open verifies the trailing tag of ciphertext||tag and returns the
+// plaintext, or ErrAuthentication if the tag does not match.
+func (g *GCM) Open(sealed, nonce, additional []byte, tagSize int) ([]byte, error) {
+	if len(nonce) != NonceSize {
+		return nil, errors.New("aesgcm: nonce must be 12 bytes")
+	}
+	if tagSize < MinTagSize || tagSize > TagSize {
+		return nil, errors.New("aesgcm: tag size out of range")
+	}
+	if len(sealed) < tagSize {
+		return nil, ErrAuthentication
+	}
+	ct := sealed[:len(sealed)-tagSize]
+	want := sealed[len(sealed)-tagSize:]
+	tag := g.tag(ct, nonce, additional)
+	var diff byte
+	for i := 0; i < tagSize; i++ {
+		diff |= tag[i] ^ want[i]
+	}
+	if diff != 0 {
+		return nil, ErrAuthentication
+	}
+	out := make([]byte, len(ct))
+	g.ctrXOR(out, ct, nonce, 2)
+	return out, nil
+}
+
+// tag computes the full 16-byte GCM tag for the ciphertext.
+func (g *GCM) tag(ciphertext, nonce, additional []byte) [16]byte {
+	s := g.ghash(additional, ciphertext)
+	j0 := counterBlock(nonce, 1)
+	var ek [16]byte
+	g.cipher.Encrypt(ek[:], j0[:])
+	sb := s.bytes()
+	var tag [16]byte
+	for i := 0; i < 16; i++ {
+		tag[i] = sb[i] ^ ek[i]
+	}
+	return tag
+}
+
+// Seed builds the 12-byte encryption seed (nonce) from the accelerator's
+// version counter, the data's base address and a per-context initialisation
+// vector, mirroring the seed composition of the paper's Figure 2. Because
+// the accelerator's data orchestration is explicit, counters are computable
+// on chip and never stored off-chip (the tree-less organisation of prior
+// work the paper builds on).
+func Seed(counter uint32, address uint32, iv uint32) [NonceSize]byte {
+	var n [NonceSize]byte
+	binary.BigEndian.PutUint32(n[0:4], counter)
+	binary.BigEndian.PutUint32(n[4:8], address)
+	binary.BigEndian.PutUint32(n[8:12], iv)
+	return n
+}

@@ -1,0 +1,110 @@
+package aesgcm
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// NIST GCM reference vectors (McGrew & Viega, "The Galois/Counter Mode of
+// Operation", test cases 1-4 for AES-128). These validate the
+// implementation against the specification directly, independent of the
+// standard-library cross-check.
+func TestNISTGCMVectors(t *testing.T) {
+	cases := []struct {
+		name             string
+		key, iv, pt, aad string
+		wantCT, wantTag  string
+	}{
+		{
+			name:    "case1-empty",
+			key:     "00000000000000000000000000000000",
+			iv:      "000000000000000000000000",
+			wantTag: "58e2fccefa7e3061367f1d57a4e7455a",
+		},
+		{
+			name:    "case2-one-zero-block",
+			key:     "00000000000000000000000000000000",
+			iv:      "000000000000000000000000",
+			pt:      "00000000000000000000000000000000",
+			wantCT:  "0388dace60b6a392f328c2b971b2fe78",
+			wantTag: "ab6e47d42cec13bdf53a67b21257bddf",
+		},
+		{
+			name: "case3-four-blocks",
+			key:  "feffe9928665731c6d6a8f9467308308",
+			iv:   "cafebabefacedbaddecaf888",
+			pt: "d9313225f88406e5a55909c5aff5269a" +
+				"86a7a9531534f7da2e4c303d8a318a72" +
+				"1c3c0c95956809532fcf0e2449a6b525" +
+				"b16aedf5aa0de657ba637b391aafd255",
+			wantCT: "42831ec2217774244b7221b784d0d49c" +
+				"e3aa212f2c02a4e035c17e2329aca12e" +
+				"21d514b25466931c7d8f6a5aac84aa05" +
+				"1ba30b396a0aac973d58e091473f5985",
+			wantTag: "4d5c2af327cd64a62cf35abd2ba6fab4",
+		},
+		{
+			name: "case4-with-aad",
+			key:  "feffe9928665731c6d6a8f9467308308",
+			iv:   "cafebabefacedbaddecaf888",
+			pt: "d9313225f88406e5a55909c5aff5269a" +
+				"86a7a9531534f7da2e4c303d8a318a72" +
+				"1c3c0c95956809532fcf0e2449a6b525" +
+				"b16aedf5aa0de657ba637b39",
+			aad: "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+			wantCT: "42831ec2217774244b7221b784d0d49c" +
+				"e3aa212f2c02a4e035c17e2329aca12e" +
+				"21d514b25466931c7d8f6a5aac84aa05" +
+				"1ba30b396a0aac973d58e091",
+			wantTag: "5bc94fbc3221a5db94fae95ae7121a47",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			key := mustHex(t, tc.key)
+			iv := mustHex(t, tc.iv)
+			pt := mustHex(t, tc.pt)
+			aad := mustHex(t, tc.aad)
+			wantCT := mustHex(t, tc.wantCT)
+			wantTag := mustHex(t, tc.wantTag)
+
+			c, err := NewCipher(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := NewGCM(c)
+			sealed, err := g.Seal(pt, iv, aad, TagSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct := sealed[:len(sealed)-TagSize]
+			tag := sealed[len(sealed)-TagSize:]
+			if !bytes.Equal(ct, wantCT) {
+				t.Errorf("ciphertext = %x, want %x", ct, wantCT)
+			}
+			if !bytes.Equal(tag, wantTag) {
+				t.Errorf("tag = %x, want %x", tag, wantTag)
+			}
+			back, err := g.Open(sealed, iv, aad, TagSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, pt) {
+				t.Error("Open round trip mismatch")
+			}
+		})
+	}
+}
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	if s == "" {
+		return nil
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

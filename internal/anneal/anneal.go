@@ -1,0 +1,116 @@
+// Package anneal implements the paper's third scheduling step (Section 4.3,
+// Algorithm 1): simulated annealing over the per-layer top-k loopnest
+// schedules. The state is one schedule choice per layer; a neighbour
+// replaces one randomly chosen layer's schedule with another of its top-k
+// candidates; acceptance is probabilistic under a linearly decaying
+// temperature, so diverse states are explored early and the best ones
+// exploited late.
+package anneal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Problem is a discrete per-layer choice space with a global cost.
+type Problem interface {
+	// NumLayers returns the number of layers (state components).
+	NumLayers() int
+	// NumChoices returns the candidate count of layer i (>= 1).
+	NumChoices(i int) int
+	// Cost evaluates the full-network cost of a choice vector. Lower is
+	// better. Implementations should memoise: the same pairs recur.
+	Cost(choices []int) float64
+}
+
+// Options tunes the search.
+type Options struct {
+	// Iterations is the annealing step count (the paper defaults to 1000).
+	Iterations int
+	// TInit and TFinal bound the linearly decaying temperature, expressed
+	// relative to the initial cost (the cost is normalised internally, so
+	// these are dimensionless).
+	TInit, TFinal float64
+	// Seed drives the random source; equal seeds reproduce runs exactly.
+	Seed int64
+}
+
+// DefaultOptions returns the paper's defaults: 1000 iterations.
+func DefaultOptions() Options {
+	return Options{Iterations: 1000, TInit: 0.05, TFinal: 1e-4, Seed: 1}
+}
+
+// Result reports the annealing outcome.
+type Result struct {
+	// Choices is the best state found (not merely the final state).
+	Choices []int
+	// Cost is its cost.
+	Cost float64
+	// InitialCost is the cost of the all-top-1 starting state.
+	InitialCost float64
+	// Accepted counts accepted moves.
+	Accepted int
+}
+
+// Minimize runs Algorithm 1: starting from the all-top-1 state, it
+// repeatedly perturbs one layer's choice and probabilistically accepts the
+// move. It returns the best state observed.
+func Minimize(p Problem, opts Options) Result {
+	n := p.NumLayers()
+	cur := make([]int, n)
+	curCost := p.Cost(cur)
+	res := Result{
+		Choices:     append([]int(nil), cur...),
+		Cost:        curCost,
+		InitialCost: curCost,
+	}
+	if n == 0 || opts.Iterations <= 0 {
+		return res
+	}
+	// Layers with a single candidate cannot move; if none can, we are done.
+	movable := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if p.NumChoices(i) > 1 {
+			movable = append(movable, i)
+		}
+	}
+	if len(movable) == 0 {
+		return res
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	norm := curCost
+	if norm <= 0 {
+		norm = 1
+	}
+
+	for it := 0; it < opts.Iterations; it++ {
+		// Linear temperature decay (Algorithm 1 line 13).
+		frac := float64(it) / float64(opts.Iterations)
+		t := opts.TInit + (opts.TFinal-opts.TInit)*frac
+
+		i := movable[rng.Intn(len(movable))]
+		next := rng.Intn(p.NumChoices(i))
+		if next == cur[i] {
+			continue
+		}
+		old := cur[i]
+		cur[i] = next
+		nextCost := p.Cost(cur)
+
+		// Probabilistic acceptance (Algorithm 1 lines 8-12): improvements
+		// always accepted, regressions with probability exp(diff/t).
+		diff := (curCost - nextCost) / norm
+		if math.Exp(diff/t) > rng.Float64() {
+			curCost = nextCost
+			res.Accepted++
+			if nextCost < res.Cost {
+				res.Cost = nextCost
+				copy(res.Choices, cur)
+			}
+		} else {
+			cur[i] = old
+		}
+	}
+	return res
+}

@@ -1,0 +1,100 @@
+package arch
+
+import "testing"
+
+func TestBaseMatchesPaper(t *testing.T) {
+	b := Base()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.PEsX != 14 || b.PEsY != 12 {
+		t.Errorf("base PEs %dx%d, want 14x12", b.PEsX, b.PEsY)
+	}
+	if b.NumPEs() != 168 {
+		t.Errorf("NumPEs = %d", b.NumPEs())
+	}
+	if b.GlobalBufferBytes != 131*1024 {
+		t.Errorf("GLB = %d", b.GlobalBufferBytes)
+	}
+	if b.DRAM != LPDDR4x64 {
+		t.Errorf("DRAM = %v", b.DRAM)
+	}
+	if b.ClockHz != 100e6 {
+		t.Errorf("clock = %g", b.ClockHz)
+	}
+}
+
+func TestWithModifiers(t *testing.T) {
+	b := Base()
+	p := b.WithPEs(28, 24)
+	if p.NumPEs() != 672 || b.NumPEs() != 168 {
+		t.Error("WithPEs mutated receiver or returned wrong copy")
+	}
+	g := b.WithGlobalBuffer(16 * 1024)
+	if g.GlobalBufferBytes != 16*1024 || b.GlobalBufferBytes != 131*1024 {
+		t.Error("WithGlobalBuffer mutated receiver")
+	}
+	d := b.WithDRAM(HBM2x64)
+	if d.DRAM.Name != "HBM2-64B" {
+		t.Error("WithDRAM failed")
+	}
+	if p.Name == b.Name || g.Name == b.Name {
+		t.Error("modifier names not distinguished")
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	mutations := []func(*Spec){
+		func(s *Spec) { s.PEsX = 0 },
+		func(s *Spec) { s.GlobalBufferBytes = 0 },
+		func(s *Spec) { s.RegFileBytesPerPE = -1 },
+		func(s *Spec) { s.WordBits = 0 },
+		func(s *Spec) { s.ClockHz = 0 },
+		func(s *Spec) { s.DRAM.BytesPerCycle = 0 },
+	}
+	for i, mut := range mutations {
+		s := Base()
+		mut(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestDRAMTechs(t *testing.T) {
+	techs := DRAMTechs()
+	if len(techs) != 3 {
+		t.Fatalf("%d DRAM techs", len(techs))
+	}
+	if LPDDR4x128.BytesPerCycle != 2*LPDDR4x64.BytesPerCycle {
+		t.Error("LPDDR4-128B must double LPDDR4-64B bandwidth")
+	}
+	if HBM2x64.EnergyPerBit >= LPDDR4x64.EnergyPerBit {
+		t.Error("HBM2 must be more energy efficient per bit than LPDDR4")
+	}
+	if HBM2x64.BytesPerCycle != LPDDR4x64.BytesPerCycle {
+		t.Error("HBM2 config matches the 64B/cycle interface in the study")
+	}
+}
+
+func TestSweepConfigs(t *testing.T) {
+	if got := PEConfigs(); len(got) != 3 || got[0] != [2]int{14, 12} {
+		t.Errorf("PEConfigs = %v", got)
+	}
+	if got := BufferConfigs(); len(got) != 3 || got[2] != 131*1024 {
+		t.Errorf("BufferConfigs = %v", got)
+	}
+}
+
+func TestCapacityAccessors(t *testing.T) {
+	b := Base()
+	if b.GlobalBufferBits() != int64(131*1024*8) {
+		t.Error("GlobalBufferBits")
+	}
+	if b.RegFileBits() != 512*8 {
+		t.Error("RegFileBits")
+	}
+	if b.PeakMACsPerCycle() != 168 {
+		t.Error("PeakMACsPerCycle")
+	}
+}

@@ -1,0 +1,60 @@
+package authblock
+
+import "sync"
+
+// The optimal-assignment search and the baseline evaluation are pure
+// functions of (ProducerGrid, ConsumerGrid, Params), all comparable
+// structs, and the same grid pairs recur across scheduling algorithms,
+// annealing iterations and design-space sweeps. A process-wide memo makes
+// repeated experiments cheap.
+
+type cacheKey struct {
+	p   ProducerGrid
+	c   ConsumerGrid
+	par Params
+}
+
+var (
+	optMu    sync.Mutex
+	optCache = map[cacheKey]Result{}
+
+	tileMu    sync.Mutex
+	tileCache = map[cacheKey]tileEntry{}
+)
+
+type tileEntry struct {
+	costs    Costs
+	rehashed bool
+}
+
+// OptimalCached is Optimal with process-wide memoisation.
+func OptimalCached(p ProducerGrid, c ConsumerGrid, par Params) Result {
+	key := cacheKey{p: p, c: c, par: par}
+	optMu.Lock()
+	if r, ok := optCache[key]; ok {
+		optMu.Unlock()
+		return r
+	}
+	optMu.Unlock()
+	r := Optimal(p, c, par)
+	optMu.Lock()
+	optCache[key] = r
+	optMu.Unlock()
+	return r
+}
+
+// TileAsAuthBlockCached is TileAsAuthBlock with process-wide memoisation.
+func TileAsAuthBlockCached(p ProducerGrid, c ConsumerGrid, par Params) (Costs, bool) {
+	key := cacheKey{p: p, c: c, par: par}
+	tileMu.Lock()
+	if e, ok := tileCache[key]; ok {
+		tileMu.Unlock()
+		return e.costs, e.rehashed
+	}
+	tileMu.Unlock()
+	costs, rehashed := TileAsAuthBlock(p, c, par)
+	tileMu.Lock()
+	tileCache[key] = tileEntry{costs: costs, rehashed: rehashed}
+	tileMu.Unlock()
+	return costs, rehashed
+}

@@ -1,0 +1,59 @@
+package authblock
+
+import (
+	"sync"
+	"testing"
+)
+
+func cacheFixtures() (ProducerGrid, ConsumerGrid, Params) {
+	p := ProducerGrid{C: 4, H: 12, W: 10, TileC: 2, TileH: 6, TileW: 5, WritesPerTile: 1}
+	c := ConsumerGrid{
+		TileC: 2, WinH: 7, WinW: 6, StepH: 6, StepW: 5,
+		OffH: -1, OffW: 0, CountC: 2, CountH: 2, CountW: 2,
+		FetchesPerTile: 1,
+	}
+	return p, c, Params{WordBits: 8, HashBits: 64}
+}
+
+func TestOptimalCachedMatchesUncached(t *testing.T) {
+	p, c, par := cacheFixtures()
+	want := Optimal(p, c, par)
+	got := OptimalCached(p, c, par)
+	if got != want {
+		t.Fatalf("cached %+v != uncached %+v", got, want)
+	}
+	// Second call hits the cache and must be identical.
+	if again := OptimalCached(p, c, par); again != want {
+		t.Fatal("cache returned different result")
+	}
+}
+
+func TestTileAsAuthBlockCachedMatchesUncached(t *testing.T) {
+	p, c, par := cacheFixtures()
+	wantCosts, wantRehash := TileAsAuthBlock(p, c, par)
+	gotCosts, gotRehash := TileAsAuthBlockCached(p, c, par)
+	if gotCosts != wantCosts || gotRehash != wantRehash {
+		t.Fatalf("cached (%+v,%v) != uncached (%+v,%v)", gotCosts, gotRehash, wantCosts, wantRehash)
+	}
+}
+
+func TestCachesAreConcurrencySafe(t *testing.T) {
+	p, c, par := cacheFixtures()
+	want := Optimal(p, c, par)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Vary params slightly so goroutines mix hits and misses.
+			pp := p
+			pp.TileW = 1 + i%5
+			OptimalCached(pp, c, par)
+			TileAsAuthBlockCached(pp, c, par)
+			if got := OptimalCached(p, c, par); got != want {
+				t.Errorf("concurrent cached result differs")
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,178 @@
+package authblock
+
+import "fmt"
+
+// Orientation selects which tile dimension the flattened AuthBlock runs
+// along fastest. For the paper's 2-D illustrations, AlongQ is "horizontal"
+// (blocks run along tensor columns) and AlongP is "vertical" (blocks run
+// along tensor rows). AlongC slices along the channel dimension.
+type Orientation int
+
+const (
+	// AlongQ flattens (channel, row, column): horizontal blocks.
+	AlongQ Orientation = iota
+	// AlongP flattens (channel, column, row): vertical blocks.
+	AlongP
+	// AlongC flattens (row, column, channel): channel-direction blocks.
+	AlongC
+
+	// NumOrientations counts the orientations.
+	NumOrientations
+)
+
+// Orientations lists all orientations.
+var Orientations = [NumOrientations]Orientation{AlongQ, AlongP, AlongC}
+
+// String names the orientation as in the paper's figures.
+func (o Orientation) String() string {
+	switch o {
+	case AlongQ:
+		return "horizontal"
+	case AlongP:
+		return "vertical"
+	case AlongC:
+		return "channel"
+	}
+	return "unknown"
+}
+
+// Box is an axis-aligned region inside a producer tile, in the tile's local
+// coordinates: channels [C0,C1), rows [P0,P1), columns [Q0,Q1).
+type Box struct {
+	C0, C1 int
+	P0, P1 int
+	Q0, Q1 int
+}
+
+// Volume returns the element count of the box.
+func (b Box) Volume() int64 {
+	return int64(b.C1-b.C0) * int64(b.P1-b.P0) * int64(b.Q1-b.Q0)
+}
+
+// valid reports whether the box is non-empty and inside the tile.
+func (b Box) valid(tc, tp, tq int) bool {
+	return b.C0 >= 0 && b.C0 < b.C1 && b.C1 <= tc &&
+		b.P0 >= 0 && b.P0 < b.P1 && b.P1 <= tp &&
+		b.Q0 >= 0 && b.Q0 < b.Q1 && b.Q1 <= tq
+}
+
+// permute maps (tile dims, box) into flattening order (d0 slowest, d2
+// fastest) for the orientation.
+func permute(tileC, tileP, tileQ int, b Box, o Orientation) (dims [3]int, lo, hi [3]int) {
+	switch o {
+	case AlongQ:
+		dims = [3]int{tileC, tileP, tileQ}
+		lo = [3]int{b.C0, b.P0, b.Q0}
+		hi = [3]int{b.C1, b.P1, b.Q1}
+	case AlongP:
+		dims = [3]int{tileC, tileQ, tileP}
+		lo = [3]int{b.C0, b.Q0, b.P0}
+		hi = [3]int{b.C1, b.Q1, b.P1}
+	case AlongC:
+		dims = [3]int{tileP, tileQ, tileC}
+		lo = [3]int{b.P0, b.Q0, b.C0}
+		hi = [3]int{b.P1, b.Q1, b.C1}
+	default:
+		panic(fmt.Sprintf("authblock: bad orientation %d", int(o)))
+	}
+	return dims, lo, hi
+}
+
+// CountBoxBlocks returns, for AuthBlocks of u elements laid over a producer
+// tile of dims (tileC, tileP, tileQ) flattened in orientation o, the number
+// of distinct blocks the box touches and the number of elements those
+// blocks cover (clipping the tile's final partial block to the tile end).
+// The box elements themselves are a subset of the covered elements, so the
+// redundant-read count for fetching this box is covered - box.Volume().
+//
+// The computation runs the paper's congruence formulation: the box's rows
+// in flattened space form nested arithmetic progressions of equal-length
+// runs; block-boundary crossings are counted with floor-sums and the
+// duplicate-block corrections with residue-window counting, all in
+// O(slabs * log) rather than by enumerating elements.
+func CountBoxBlocks(tileC, tileP, tileQ int, b Box, o Orientation, u int) (blocks, covered int64) {
+	if u <= 0 {
+		panic("authblock: block size must be positive")
+	}
+	if !b.valid(tileC, tileP, tileQ) {
+		panic(fmt.Sprintf("authblock: box %+v invalid for tile %dx%dx%d", b, tileC, tileP, tileQ))
+	}
+	dims, lo, hi := permute(tileC, tileP, tileQ, b, o)
+	d1, d2 := int64(dims[1]), int64(dims[2])
+	flatLen := int64(dims[0]) * d1 * d2
+	u64 := int64(u)
+
+	runLen := int64(hi[2] - lo[2])
+	j1 := int64(hi[1] - lo[1]) // runs per slab
+	var total int64            // distinct blocks
+	prevLast := int64(-2)      // last block index of previous slab (for cross-slab dedup)
+
+	for i0 := lo[0]; i0 < hi[0]; i0++ {
+		base := (int64(i0)*d1+int64(lo[1]))*d2 + int64(lo[2])
+		// Within the slab: runs start at base + j*d2, j in [0, j1), each of
+		// length runLen. Distinct blocks touched by the slab:
+		//   sum_j (floor((s_j+runLen-1)/u) - floor(s_j/u) + 1) - duplicates
+		// where duplicates counts consecutive runs whose block ranges share
+		// their boundary block. Ranges can overlap by at most one block
+		// because runs are disjoint and ordered.
+		sumLast := floorSum(j1, u64, d2, base+runLen-1)
+		sumFirst := floorSum(j1, u64, d2, base)
+		slabBlocks := sumLast - sumFirst + j1
+
+		// Duplicate j/j+1 boundary blocks: no multiple of u in
+		// (s_j+runLen-1, s_j+d2], i.e. (s_j+runLen-1) mod u < u - g with
+		// g = d2 - runLen + 1.
+		g := d2 - runLen + 1
+		if g <= u64 && j1 > 1 {
+			slabBlocks -= countResiduesBelow(j1-1, u64, d2, base+runLen-1, u64-g)
+		}
+
+		total += slabBlocks
+
+		// Cross-slab duplicate: first block of this slab vs last block of
+		// the previous one.
+		first := base / u64
+		if first == prevLast {
+			total--
+		}
+		prevLast = (base + (j1-1)*d2 + runLen - 1) / u64
+	}
+
+	covered = total * u64
+	// The tile's final block may be partial; if the box touches it, the
+	// coverage is clipped to the tile end.
+	if rem := flatLen % u64; rem != 0 {
+		lastBlock := flatLen / u64 // index of the partial block
+		maxFlat := (int64(hi[0]-1)*d1+int64(hi[1]-1))*d2 + int64(hi[2]) - 1
+		if maxFlat >= lastBlock*u64 {
+			covered -= u64 - rem
+		}
+	}
+	return total, covered
+}
+
+// countBoxBlocksBrute is the enumeration oracle for CountBoxBlocks: it
+// marks every touched block directly. Exported to the tests via
+// export_test.go.
+func countBoxBlocksBrute(tileC, tileP, tileQ int, b Box, o Orientation, u int) (blocks, covered int64) {
+	dims, lo, hi := permute(tileC, tileP, tileQ, b, o)
+	flatLen := int64(dims[0]) * int64(dims[1]) * int64(dims[2])
+	touched := map[int64]bool{}
+	for i0 := lo[0]; i0 < hi[0]; i0++ {
+		for i1 := lo[1]; i1 < hi[1]; i1++ {
+			for i2 := lo[2]; i2 < hi[2]; i2++ {
+				flat := (int64(i0)*int64(dims[1])+int64(i1))*int64(dims[2]) + int64(i2)
+				touched[flat/int64(u)] = true
+			}
+		}
+	}
+	for k := range touched {
+		blocks++
+		end := (k + 1) * int64(u)
+		if end > flatLen {
+			end = flatLen
+		}
+		covered += end - k*int64(u)
+	}
+	return blocks, covered
+}

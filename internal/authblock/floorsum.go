@@ -1,0 +1,90 @@
+// Package authblock implements the paper's core contribution: optimal
+// authentication-block assignment (Section 4.2). An AuthBlock is the unit
+// of data one cryptographic hash covers. Blocks are laid over each producer
+// tile of a tensor by flattening the tile in a chosen orientation and
+// slicing it into size-u runs (the paper's "n-1 dimensions set to 1, the
+// remaining dimension u varied"); the k-th block therefore starts at flat
+// offset u*k, wrapping row to row exactly as the paper's
+// Lx = (u*k) mod w_i formulation describes.
+//
+// When a consumer reads a region that is misaligned with this block grid
+// (because of cross-layer tiling mismatches or halos), it must fetch every
+// block it touches. Counting touched blocks for all consumer tiles at once
+// is a linear-congruence problem over the arithmetic progressions of row
+// starts; this package solves it analytically with Euclidean-style
+// floor-sums (log time per progression), with a brute-force oracle used in
+// the tests.
+package authblock
+
+// floorSum returns sum_{i=0}^{n-1} floor((a*i + b) / m) for m > 0, handling
+// negative a and b. This is the classic Euclidean-like recursion (the same
+// gcd structure as the extended Euclidean algorithm the paper invokes),
+// running in O(log max(a, m)).
+func floorSum(n, m, a, b int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if m <= 0 {
+		panic("authblock: floorSum modulus must be positive")
+	}
+	var ans int64
+	// Normalise a and b into [0, m).
+	if a < 0 {
+		a2 := a%m + m
+		if a2 == m {
+			a2 = 0
+		}
+		// a*i = (a2 - m*k)*i ; account the wholesale floors.
+		ans -= n * (n - 1) / 2 * ((a2 - a) / m)
+		a = a2
+	}
+	if b < 0 {
+		b2 := b%m + m
+		if b2 == m {
+			b2 = 0
+		}
+		ans -= n * ((b2 - b) / m)
+		b = b2
+	}
+	for {
+		if a >= m {
+			ans += n * (n - 1) / 2 * (a / m)
+			a %= m
+		}
+		if b >= m {
+			ans += n * (b / m)
+			b %= m
+		}
+		yMax := a*n + b
+		if yMax < m {
+			break
+		}
+		n = yMax / m
+		b = yMax % m
+		m, a = a, m
+	}
+	return ans
+}
+
+// countResiduesBelow returns the number of i in [0, n) with
+// (a*i + b) mod m < t, for 0 <= t <= m. This is the paper's
+// linear-congruence counting: how many iterations of an arithmetic
+// progression land in a residue window. It uses the identity
+// [x mod m < t] = floor(x/m) - floor((x-t)/m).
+func countResiduesBelow(n, m, a, b, t int64) int64 {
+	if n <= 0 || t <= 0 {
+		return 0
+	}
+	if t >= m {
+		return n
+	}
+	return floorSum(n, m, a, b) - floorSum(n, m, a, b-t)
+}
+
+// gcd returns the greatest common divisor of a and b (non-negative inputs).
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,30 @@
+package authblock
+
+import "testing"
+
+// FuzzCountBoxBlocks cross-checks the analytic congruence counter against
+// the enumeration oracle on fuzzer-chosen geometries.
+func FuzzCountBoxBlocks(f *testing.F) {
+	f.Add(uint8(1), uint8(30), uint8(30), uint8(0), uint8(30), uint8(10), uint8(30), uint8(0), uint8(10))
+	f.Add(uint8(4), uint8(7), uint8(9), uint8(1), uint8(5), uint8(2), uint8(8), uint8(1), uint8(37))
+	f.Fuzz(func(t *testing.T, tc, tp, tq, p0, p1, q0, q1, orient, u uint8) {
+		tC := int(tc)%6 + 1
+		tP := int(tp)%16 + 1
+		tQ := int(tq)%16 + 1
+		b := Box{
+			C0: 0, C1: tC,
+			P0: int(p0) % tP, Q0: int(q0) % tQ,
+		}
+		b.P1 = b.P0 + 1 + int(p1)%(tP-b.P0)
+		b.Q1 = b.Q0 + 1 + int(q1)%(tQ-b.Q0)
+		o := Orientations[int(orient)%int(NumOrientations)]
+		uu := int(u)%(tC*tP*tQ+4) + 1
+
+		gb, gc := CountBoxBlocks(tC, tP, tQ, b, o, uu)
+		wb, wc := countBoxBlocksBrute(tC, tP, tQ, b, o, uu)
+		if gb != wb || gc != wc {
+			t.Fatalf("tile %dx%dx%d box %+v %v u=%d: got (%d,%d) want (%d,%d)",
+				tC, tP, tQ, b, o, uu, gb, gc, wb, wc)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+package authblock
+
+import (
+	"sort"
+)
+
+// Assignment is one AuthBlock regime for a tensor: blocks of U elements in
+// the given flattening orientation, laid over each producer tile.
+type Assignment struct {
+	Orientation Orientation
+	// U is the block size in elements.
+	U int
+}
+
+// Result couples an assignment with its evaluated costs.
+type Result struct {
+	Assignment Assignment
+	Costs      Costs
+}
+
+// CandidateSizes proposes the block sizes worth evaluating for a
+// producer/consumer pair: all small sizes, powers of two, divisors of the
+// producer tile's row length and plane/flat sizes (where the Figure 9 local
+// minima live — block boundaries that align with row or plane boundaries
+// eliminate redundant reads periodically), and row-multiples tied to the
+// per-axis misalignment offsets.
+func CandidateSizes(p ProducerGrid, c ConsumerGrid) []int {
+	flat := p.TileC * p.TileH * p.TileW
+	set := map[int]bool{1: true, flat: true}
+	add := func(v int) {
+		if v >= 1 && v <= flat {
+			set[v] = true
+		}
+	}
+	for v := 2; v <= 64 && v <= flat; v++ {
+		add(v)
+	}
+	for v := 2; v <= flat; v *= 2 {
+		add(v)
+	}
+	addDivisors := func(n int) {
+		if n <= 0 {
+			return
+		}
+		for d := 1; d*d <= n; d++ {
+			if n%d == 0 {
+				add(d)
+				add(n / d)
+			}
+		}
+	}
+	addDivisors(p.TileW)
+	addDivisors(p.TileH * p.TileW)
+	addDivisors(flat)
+	// Misalignment-derived sizes: the paper's example shows zero-redundancy
+	// points at factors of h*(wi-wj); offsets between consumer windows and
+	// producer tile boundaries generate the analogous values here.
+	for _, off := range []int{
+		p.TileW - c.WinW, p.TileW - c.StepW, c.StepW, c.WinW,
+		(p.TileH - c.WinH) * p.TileW, (p.TileH - c.StepH) * p.TileW,
+		c.StepH * p.TileW, c.WinH * p.TileW,
+	} {
+		if off > 0 {
+			add(off)
+			addDivisors(off)
+		}
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Optimal searches orientations x candidate sizes for the assignment that
+// minimises the total extra off-chip traffic (hash writes + hash reads +
+// redundant reads), the paper's Section 4.2 objective. Ties break toward
+// larger blocks (fewer tags to store).
+func Optimal(p ProducerGrid, c ConsumerGrid, par Params) Result {
+	return OptimalOver(p, c, par, CandidateSizes(p, c))
+}
+
+// OptimalOver is Optimal with an explicit candidate-size list.
+func OptimalOver(p ProducerGrid, c ConsumerGrid, par Params, sizes []int) Result {
+	best := Result{Assignment: Assignment{Orientation: AlongQ, U: 1}}
+	first := true
+	for _, o := range Orientations {
+		if skipOrientation(p, o) {
+			continue
+		}
+		for _, u := range sizes {
+			costs := EvaluateCross(p, c, o, u, par)
+			if first || costs.Total() < best.Costs.Total() ||
+				(costs.Total() == best.Costs.Total() && u > best.Assignment.U) {
+				best = Result{Assignment: Assignment{Orientation: o, U: u}, Costs: costs}
+				first = false
+			}
+		}
+	}
+	return best
+}
+
+// skipOrientation prunes orientations that are degenerate for the tile
+// shape (flattening along a unit dimension duplicates another orientation).
+func skipOrientation(p ProducerGrid, o Orientation) bool {
+	switch o {
+	case AlongP:
+		return p.TileH == 1 && p.TileW > 1 // same as AlongQ reordered
+	case AlongC:
+		return p.TileC == 1
+	}
+	return false
+}
+
+// Sweep evaluates every block size in [1, max] for one orientation,
+// returning per-size costs — the Figure 9 visualisation.
+func Sweep(p ProducerGrid, c ConsumerGrid, o Orientation, maxU int, par Params) []Result {
+	out := make([]Result, 0, maxU)
+	for u := 1; u <= maxU; u++ {
+		out = append(out, Result{
+			Assignment: Assignment{Orientation: o, U: u},
+			Costs:      EvaluateCross(p, c, o, u, par),
+		})
+	}
+	return out
+}
+
+// TileAsAuthBlock evaluates the prior-work baseline strategy (Section 3.2):
+// one AuthBlock per producer tile. Cross-layer misalignment is then
+// resolved by whichever is cheaper:
+//
+//   - direct: every consumer access fetches all producer tiles it overlaps
+//     in full (Figure 4c's redundant reads), or
+//   - rehash: one pass reads the whole tensor, re-assigns AuthBlocks to
+//     match the consumer's tiles (duplicating halo data), and writes it
+//     back (Section 3.2.1's workaround), after which consumer reads are
+//     exact.
+//
+// The bool reports whether the rehash path was chosen.
+func TileAsAuthBlock(p ProducerGrid, c ConsumerGrid, par Params) (Costs, bool) {
+	direct := tileBaselineDirect(p, c, par)
+	rehash := tileBaselineRehash(p, c, par)
+	if rehash.Total() < direct.Total() {
+		return rehash, true
+	}
+	return direct, false
+}
+
+// tileBaselineDirect counts whole-producer-tile fetches per consumer tile.
+func tileBaselineDirect(p ProducerGrid, c ConsumerGrid, par Params) Costs {
+	ch, rows, cols := consumerClasses(p, c)
+	var hashReads, redundant int64
+	for cc, nc := range ch {
+		for rc, nr := range rows {
+			for wc, nw := range cols {
+				mult := nc * nr * nw
+				tileVol := int64(cc.tdim) * int64(rc.tdim) * int64(wc.tdim)
+				boxVol := int64(cc.hi-cc.lo) * int64(rc.hi-rc.lo) * int64(wc.hi-wc.lo)
+				hashReads += mult
+				redundant += mult * (tileVol - boxVol)
+			}
+		}
+	}
+	return Costs{
+		HashWriteBits: p.NumTiles() * p.WritesPerTile * int64(par.HashBits),
+		HashReadBits:  hashReads * c.FetchesPerTile * int64(par.HashBits),
+		RedundantBits: redundant * c.FetchesPerTile * int64(par.WordBits),
+	}
+}
+
+// tileBaselineRehash charges a full reorganisation pass, after which every
+// consumer tile is exactly one AuthBlock.
+func tileBaselineRehash(p ProducerGrid, c ConsumerGrid, par Params) Costs {
+	tensor := p.TensorBits(par)
+	dup := consumerFootprintBits(p, c, par)
+	oldTags := p.NumTiles() * int64(par.HashBits)
+	newTags := c.NumTiles() * int64(par.HashBits)
+	return Costs{
+		HashWriteBits: p.NumTiles() * p.WritesPerTile * int64(par.HashBits),
+		HashReadBits:  c.NumTiles() * c.FetchesPerTile * int64(par.HashBits),
+		RehashBits:    tensor + dup + oldTags + newTags,
+	}
+}
+
+// WeightCosts returns the tag traffic for a weight tensor: weight tiles
+// never overlap and have no cross-layer consumer, so tile-as-an-AuthBlock
+// is optimal for every strategy — one tag stored per tile and one fetched
+// per tile read.
+func WeightCosts(numTiles, fetchesPerTile int64, par Params) Costs {
+	return Costs{
+		HashWriteBits: 0, // weights are provisioned once by the host, off the critical path
+		HashReadBits:  numTiles * fetchesPerTile * int64(par.HashBits),
+	}
+}
+
+// SourceCosts returns the tag traffic for a segment-source ifmap (network
+// input or post-processing output): the host or post-processing unit
+// provisions AuthBlocks matching the consumer's tiles (duplicating halo
+// data into both tiles when windows overlap), so consumer reads are exact
+// and only tags travel.
+func SourceCosts(c ConsumerGrid, par Params) Costs {
+	return Costs{
+		HashReadBits: c.NumTiles() * c.FetchesPerTile * int64(par.HashBits),
+	}
+}
+
+// SinkCosts returns the tag traffic for a segment-sink ofmap (consumed by a
+// separate post-processing step downstream): tags are written per producer
+// tile; the downstream read is outside the segment's accounting.
+func SinkCosts(p ProducerGrid, par Params) Costs {
+	return Costs{
+		HashWriteBits: p.NumTiles() * p.WritesPerTile * int64(par.HashBits),
+	}
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"secureloop/internal/anneal"
+	"secureloop/internal/arch"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/workload"
+)
+
+func testScheduler() *Scheduler {
+	s := New(arch.Base(), cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1})
+	s.Anneal = anneal.Options{Iterations: 120, TInit: 0.05, TFinal: 1e-4, Seed: 1}
+	return s
+}
+
+func TestScheduleAlexNetAllAlgorithms(t *testing.T) {
+	net := workload.AlexNet()
+	s := testScheduler()
+	base, err := s.ScheduleNetwork(net, Unsecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Total.Cycles <= 0 {
+		t.Fatal("unsecure cycles not positive")
+	}
+	if base.Traffic.Total() != 0 {
+		t.Error("unsecure run reports authentication traffic")
+	}
+	if len(base.Layers) != net.NumLayers() {
+		t.Fatalf("%d layer results", len(base.Layers))
+	}
+
+	prev := base.Total.Cycles
+	var tile, cross *NetworkResult
+	for _, alg := range Algorithms() {
+		res, err := s.ScheduleNetwork(net, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Total.Cycles < prev {
+			t.Errorf("%v faster than unsecure baseline: %d < %d", alg, res.Total.Cycles, prev)
+		}
+		if res.Traffic.Total() <= 0 {
+			t.Errorf("%v reports no authentication traffic", alg)
+		}
+		switch alg {
+		case CryptTileSingle:
+			tile = res
+		case CryptOptCross:
+			cross = res
+		}
+	}
+	// The paper's central claim: the full engine never loses to the
+	// tile-as-an-AuthBlock baseline.
+	if cross.Total.Cycles > tile.Total.Cycles {
+		t.Errorf("Crypt-Opt-Cross (%d) slower than Crypt-Tile-Single (%d)",
+			cross.Total.Cycles, tile.Total.Cycles)
+	}
+}
+
+func TestOptRemovesRehash(t *testing.T) {
+	net := workload.MobileNetV2()
+	s := testScheduler()
+	tile, err := s.ScheduleNetwork(net, CryptTileSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := s.ScheduleNetwork(net, CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile.Traffic.RehashBits == 0 {
+		t.Error("tile-as-AuthBlock baseline should rehash on MobileNetV2")
+	}
+	if opt.Traffic.RehashBits != 0 {
+		t.Error("optimal assignment must avoid rehashing within segments")
+	}
+	if opt.Traffic.Total() >= tile.Traffic.Total() {
+		t.Errorf("optimal assignment did not reduce overhead traffic: %d >= %d",
+			opt.Traffic.Total(), tile.Traffic.Total())
+	}
+	if opt.Total.Cycles >= tile.Total.Cycles {
+		t.Errorf("optimal assignment did not speed up MobileNetV2: %d >= %d",
+			opt.Total.Cycles, tile.Total.Cycles)
+	}
+}
+
+func TestSecureSlowdownOrdering(t *testing.T) {
+	// A serial engine must slow the design at least as much as a pipelined
+	// engine of the same count.
+	net := workload.AlexNet()
+	slow := New(arch.Base(), cryptoengine.Config{Engine: cryptoengine.Serial(), CountPerDatatype: 1})
+	slow.Anneal.Iterations = 50
+	fast := New(arch.Base(), cryptoengine.Config{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1})
+	fast.Anneal.Iterations = 50
+	rSlow, err := slow.ScheduleNetwork(net, CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFast, err := fast.ScheduleNetwork(net, CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSlow.Total.Cycles < rFast.Total.Cycles {
+		t.Errorf("serial engine faster than pipelined: %d < %d", rSlow.Total.Cycles, rFast.Total.Cycles)
+	}
+}
+
+func TestLayerResultsConsistency(t *testing.T) {
+	net := workload.AlexNet()
+	s := testScheduler()
+	res, err := s.ScheduleNetwork(net, CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cycles int64
+	var traffic Traffic
+	for i, lr := range res.Layers {
+		if lr.Index != i {
+			t.Errorf("layer %d has index %d", i, lr.Index)
+		}
+		if lr.Mapping == nil {
+			t.Fatalf("layer %d has no mapping", i)
+		}
+		if err := lr.Mapping.Validate(&net.Layers[i], s.Spec.PEsX, s.Spec.PEsY); err != nil {
+			t.Errorf("layer %d mapping invalid: %v", i, err)
+		}
+		cycles += lr.Stats.Cycles
+		traffic.Add(lr.Overhead)
+	}
+	if cycles != res.Total.Cycles {
+		t.Errorf("total cycles %d != sum %d", res.Total.Cycles, cycles)
+	}
+	if traffic != res.Traffic {
+		t.Errorf("traffic %+v != sum %+v", res.Traffic, traffic)
+	}
+}
+
+func TestInSegmentProducersGetAssignments(t *testing.T) {
+	net := workload.AlexNet() // segment {conv3, conv4, conv5}
+	s := testScheduler()
+	res, err := s.ScheduleNetwork(net, CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv3 and conv4 produce in-segment tensors: they must carry an
+	// AuthBlock assignment with positive block size.
+	for _, i := range []int{2, 3} {
+		if res.Layers[i].OfmapAssignment.U < 1 {
+			t.Errorf("layer %d (%s) has no ofmap assignment", i, net.Layers[i].Name)
+		}
+	}
+	// conv5 ends the segment: zero-value assignment.
+	if res.Layers[4].OfmapAssignment.U != 0 {
+		t.Errorf("segment-sink layer carries an assignment: %+v", res.Layers[4].OfmapAssignment)
+	}
+}
+
+func TestAnnealingDeterministicPerSeed(t *testing.T) {
+	net := workload.AlexNet()
+	mk := func(seed int64) int64 {
+		s := testScheduler()
+		s.Anneal.Seed = seed
+		res, err := s.ScheduleNetwork(net, CryptOptCross)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Total.Cycles
+	}
+	if mk(7) != mk(7) {
+		t.Error("same seed produced different schedules")
+	}
+}
+
+func TestCrossNeverWorseThanSingle(t *testing.T) {
+	// Annealing starts from the all-top-1 state and returns the best state
+	// observed, so Crypt-Opt-Cross can never lose to Crypt-Opt-Single.
+	for _, net := range []*workload.Network{workload.AlexNet(), workload.ResNet18()} {
+		s := testScheduler()
+		single, err := s.ScheduleNetwork(net, CryptOptSingle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross, err := s.ScheduleNetwork(net, CryptOptCross)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cross.Total.Cycles > single.Total.Cycles {
+			t.Errorf("%s: cross (%d) > single (%d)", net.Name, cross.Total.Cycles, single.Total.Cycles)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	s := testScheduler()
+	s.TopK = 0
+	if err := s.Validate(); err == nil {
+		t.Error("TopK=0 accepted")
+	}
+	s = testScheduler()
+	s.Crypto.CountPerDatatype = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero engines accepted")
+	}
+	s = testScheduler()
+	s.Params.HashBits = 0
+	if err := s.Validate(); err == nil {
+		t.Error("zero hash bits accepted")
+	}
+	s = testScheduler()
+	s.Spec.PEsX = 0
+	if _, err := s.ScheduleNetwork(workload.AlexNet(), Unsecure); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	want := map[Algorithm]string{
+		Unsecure:        "Unsecure",
+		CryptTileSingle: "Crypt-Tile-Single",
+		CryptOptSingle:  "Crypt-Opt-Single",
+		CryptOptCross:   "Crypt-Opt-Cross",
+	}
+	for a, n := range want {
+		if a.String() != n {
+			t.Errorf("%d.String() = %q", int(a), a.String())
+		}
+	}
+	if Algorithm(99).String() != "unknown" {
+		t.Error("out-of-range algorithm name")
+	}
+}
+
+func TestCustomJSONWorkloadEndToEnd(t *testing.T) {
+	const custom = `{
+	  "name": "custom-edge",
+	  "layers": [
+	    {"name": "stem", "c": 3, "m": 24, "r": 3, "s": 3, "p": 28, "q": 28, "stride": 2, "pad": 1},
+	    {"name": "dw",   "c": 24, "m": 24, "r": 3, "s": 3, "p": 28, "q": 28, "pad": 1, "depthwise": true},
+	    {"name": "pw",   "c": 24, "m": 48, "r": 1, "s": 1, "p": 28, "q": 28, "cut_after": true},
+	    {"name": "head", "c": 48, "m": 96, "r": 3, "s": 3, "p": 14, "q": 14, "stride": 2, "pad": 1}
+	  ]
+	}`
+	net, err := workload.ParseJSON(strings.NewReader(custom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testScheduler()
+	base, err := s.ScheduleNetwork(net, Unsecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.ScheduleNetwork(net, CryptOptCross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total.Cycles < base.Total.Cycles {
+		t.Error("secure faster than unsecure on custom workload")
+	}
+	// The dw->pw pair is in-segment: the depthwise layer's ofmap must carry
+	// an assignment.
+	if res.Layers[1].OfmapAssignment.U < 1 {
+		t.Error("depthwise producer missing AuthBlock assignment")
+	}
+}
+
+func TestEDPObjective(t *testing.T) {
+	net := workload.ResNet18()
+	lat := testScheduler()
+	latRes, err := lat.ScheduleNetwork(net, CryptOptCross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edp := testScheduler()
+	edp.Objective = MinEDP
+	edpRes, err := edp.ScheduleNetwork(net, CryptOptCross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := edp.ScheduleNetwork(net, CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The EDP-objective annealer starts from the same top-1 state and keeps
+	// the best observed, so per segment its EDP never regresses; summed
+	// over segments the total cannot exceed the no-annealing result by more
+	// than cross-segment interaction, which does not exist. Assert the
+	// guaranteed direction.
+	if edpRes.Total.EDP() > single.Total.EDP()*1.0001 {
+		t.Errorf("EDP objective worsened EDP: %g > %g", edpRes.Total.EDP(), single.Total.EDP())
+	}
+	// And it should do no worse on EDP than the latency objective did.
+	if edpRes.Total.EDP() > latRes.Total.EDP()*1.02 {
+		t.Errorf("EDP objective lost to latency objective on EDP: %g vs %g",
+			edpRes.Total.EDP(), latRes.Total.EDP())
+	}
+	if MinLatency.String() != "latency" || MinEDP.String() != "edp" || Objective(9).String() != "unknown" {
+		t.Error("objective names")
+	}
+}
+
+func TestRejectsBatchedWorkloads(t *testing.T) {
+	net := workload.AlexNet()
+	net.Layers[0].N = 4
+	if _, err := testScheduler().ScheduleNetwork(net, Unsecure); err == nil {
+		t.Error("batched workload accepted")
+	}
+}

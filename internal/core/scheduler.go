@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"secureloop/internal/anneal"
+	"secureloop/internal/authblock"
+	"secureloop/internal/mapper"
+	"secureloop/internal/model"
+	"secureloop/internal/workload"
+)
+
+// ScheduleNetwork runs the selected algorithm over the network and returns
+// per-layer schedules and totals.
+func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*NetworkResult, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	for i := range net.Layers {
+		// The loopnest model is batch-1 (all the paper's workloads are
+		// inference at N=1); reject larger batches rather than silently
+		// under-counting their traffic.
+		if net.Layers[i].N != 1 {
+			return nil, fmt.Errorf("core: layer %s has batch size %d; only N=1 is modeled",
+				net.Layers[i].Name, net.Layers[i].N)
+		}
+	}
+
+	run := &run{
+		s:         s,
+		net:       net,
+		alg:       alg,
+		pairCache: map[pairKey]authblock.Costs{},
+	}
+
+	// Step 1: crypto-aware loopnest scheduling (top-k per layer).
+	effBW := float64(s.Spec.DRAM.BytesPerCycle)
+	if alg != Unsecure {
+		effBW = s.Crypto.EffectiveBytesPerCycle(s.Spec.DRAM.BytesPerCycle)
+	}
+	run.candidates = make([][]mapper.Candidate, net.NumLayers())
+	for i := range net.Layers {
+		topK := s.TopK
+		if alg != CryptOptCross {
+			topK = 1
+		}
+		run.candidates[i] = mapper.SearchCached(mapper.Request{
+			Layer: &net.Layers[i],
+			PEsX:  s.Spec.PEsX, PEsY: s.Spec.PEsY,
+			GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
+			EffectiveBytesPerCycle: effBW,
+			TopK:                   topK,
+		})
+		if len(run.candidates[i]) == 0 {
+			return nil, fmt.Errorf("core: no valid mapping for layer %s", net.Layers[i].Name)
+		}
+	}
+
+	// Choice vector: index into each layer's candidate list.
+	choices := make([]int, net.NumLayers())
+
+	// Step 3: cross-layer fine tuning within each multi-layer segment. The
+	// configured iteration count is a *global* budget (the paper's default
+	// is 1000 for the whole network); it is divided across the multi-layer
+	// segments in proportion to their size, with a floor so small segments
+	// still explore.
+	if alg == CryptOptCross {
+		var tunable int
+		for _, seg := range net.Segments {
+			if len(seg) >= 2 {
+				tunable += len(seg)
+			}
+		}
+		for _, seg := range net.Segments {
+			if len(seg) < 2 {
+				continue
+			}
+			opts := s.Anneal
+			opts.Iterations = s.Anneal.Iterations * len(seg) / tunable
+			if opts.Iterations < 30 {
+				opts.Iterations = 30
+			}
+			prob := &segmentProblem{run: run, segment: seg, choices: choices}
+			res := anneal.Minimize(prob, opts)
+			for j, li := range seg {
+				choices[li] = res.Choices[j]
+			}
+		}
+	}
+
+	// Assemble results.
+	out := &NetworkResult{Network: net, Algorithm: alg}
+	for i := range net.Layers {
+		lr := run.layerResult(i, choices)
+		out.Layers = append(out.Layers, lr)
+		out.Total.Add(lr.Stats)
+		out.Traffic.Add(lr.Overhead)
+	}
+	return out, nil
+}
+
+// run carries the per-invocation state: candidates and the pair-cost cache.
+type run struct {
+	s          *Scheduler
+	net        *workload.Network
+	alg        Algorithm
+	candidates [][]mapper.Candidate
+
+	pairCache map[pairKey]authblock.Costs
+	// pairAssign remembers the optimal assignment per pair for reporting.
+	pairAssign map[pairKey]authblock.Assignment
+}
+
+type pairKey struct {
+	producer, consumer             int
+	producerChoice, consumerChoice int
+}
+
+// pairCosts evaluates (with memoisation) the AuthBlock costs of the shared
+// tensor between in-segment layers a -> b under the current algorithm.
+func (r *run) pairCosts(a, b, ca, cb int) (authblock.Costs, authblock.Assignment) {
+	key := pairKey{producer: a, consumer: b, producerChoice: ca, consumerChoice: cb}
+	if c, ok := r.pairCache[key]; ok {
+		return c, r.assignFor(key)
+	}
+	la, lb := &r.net.Layers[a], &r.net.Layers[b]
+	p := producerGrid(la, r.candidates[a][ca].Mapping)
+	c := consumerGrid(lb, r.candidates[b][cb].Mapping)
+
+	var costs authblock.Costs
+	var assign authblock.Assignment
+	if r.alg == CryptTileSingle {
+		costs, _ = authblock.TileAsAuthBlockCached(p, c, r.s.Params)
+		assign = authblock.Assignment{Orientation: authblock.AlongQ, U: p.TileC * p.TileH * p.TileW}
+	} else {
+		res := authblock.OptimalCached(p, c, r.s.Params)
+		costs, assign = res.Costs, res.Assignment
+	}
+	r.pairCache[key] = costs
+	if r.pairAssign == nil {
+		r.pairAssign = map[pairKey]authblock.Assignment{}
+	}
+	r.pairAssign[key] = assign
+	return costs, assign
+}
+
+func (r *run) assignFor(key pairKey) authblock.Assignment {
+	if r.pairAssign == nil {
+		return authblock.Assignment{}
+	}
+	return r.pairAssign[key]
+}
+
+// neighbors returns the segment neighbours of layer index li: the in-segment
+// predecessor and successor, or -1.
+func (r *run) neighbors(li int) (prev, next int) {
+	prev, next = -1, -1
+	seg, pos := r.net.SegmentOf(li)
+	if seg < 0 {
+		return prev, next
+	}
+	layers := r.net.Segments[seg]
+	if pos > 0 {
+		prev = layers[pos-1]
+	}
+	if pos+1 < len(layers) {
+		next = layers[pos+1]
+	}
+	return prev, next
+}
+
+// layerOverhead assembles the authentication overhead charged to layer li
+// under the current choice vector.
+func (r *run) layerOverhead(li int, choices []int) (model.Overhead, authblock.Assignment) {
+	var ov model.Overhead
+	var ofmapAssign authblock.Assignment
+	if r.alg == Unsecure {
+		return ov, ofmapAssign
+	}
+	l := &r.net.Layers[li]
+	m := r.candidates[li][choices[li]].Mapping
+	par := r.s.Params
+
+	// Weights: tile-as-an-AuthBlock is optimal (no overlap, no consumer).
+	wt := m.WeightDRAMTiling(l)
+	wc := authblock.WeightCosts(wt.NumTiles, wt.FetchesPer, par)
+	ov.HashBits[workload.Weight] += wc.HashReadBits + wc.HashWriteBits
+
+	prev, next := r.neighbors(li)
+
+	// Ifmap side.
+	if prev < 0 {
+		// Segment source: blocks provisioned to match this consumer.
+		sc := authblock.SourceCosts(consumerGrid(l, m), par)
+		ov.HashBits[workload.Ifmap] += sc.HashReadBits
+	} else {
+		costs, _ := r.pairCosts(prev, li, choices[prev], choices[li])
+		ov.HashBits[workload.Ifmap] += costs.HashReadBits
+		ov.RedundantBits[workload.Ifmap] += costs.RedundantBits
+		ov.RehashBits += costs.RehashBits
+	}
+
+	// Ofmap side.
+	if next < 0 {
+		sk := authblock.SinkCosts(producerGrid(l, m), par)
+		ov.HashBits[workload.Ofmap] += sk.HashWriteBits
+	} else {
+		costs, assign := r.pairCosts(li, next, choices[li], choices[next])
+		ov.HashBits[workload.Ofmap] += costs.HashWriteBits
+		ofmapAssign = assign
+	}
+	return ov, ofmapAssign
+}
+
+// layerResult evaluates layer li under the choice vector.
+func (r *run) layerResult(li int, choices []int) LayerResult {
+	l := &r.net.Layers[li]
+	m := r.candidates[li][choices[li]].Mapping
+	ov, assign := r.layerOverhead(li, choices)
+	var stats model.Stats
+	if r.alg == Unsecure {
+		stats = model.Evaluate(l, &r.s.Spec, m)
+	} else {
+		stats = model.EvaluateSecure(l, &r.s.Spec, m, r.s.Crypto, ov)
+	}
+	return LayerResult{
+		Index:           li,
+		Mapping:         m,
+		Stats:           stats,
+		Overhead:        ov,
+		OfmapAssignment: assign,
+	}
+}
+
+// segmentProblem adapts one segment to the annealing interface. The cost is
+// the total latency of the segment's layers (cycles), including
+// authentication overhead, under the tentative choices.
+type segmentProblem struct {
+	run     *run
+	segment []int
+	choices []int // full-network choice vector (shared scratch)
+}
+
+func (p *segmentProblem) NumLayers() int { return len(p.segment) }
+
+func (p *segmentProblem) NumChoices(i int) int {
+	return len(p.run.candidates[p.segment[i]])
+}
+
+func (p *segmentProblem) Cost(choices []int) float64 {
+	for j, li := range p.segment {
+		p.choices[li] = choices[j]
+	}
+	var cycles int64
+	var energy float64
+	for _, li := range p.segment {
+		lr := p.run.layerResult(li, p.choices)
+		cycles += lr.Stats.Cycles
+		energy += lr.Stats.EnergyPJ
+	}
+	if p.run.s.Objective == MinEDP {
+		return energy * float64(cycles)
+	}
+	return float64(cycles)
+}

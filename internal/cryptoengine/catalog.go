@@ -1,0 +1,34 @@
+package cryptoengine
+
+// CatalogEntry is one published AES hardware implementation from the
+// circuits literature surveyed in the paper's Figure 3 (2001-2018). Area is
+// in equivalent kGates (technology-normalised); AvgCyclesPerBlock is the
+// average latency to encrypt or decrypt one 128-bit block. The values are
+// reconstructed from the cited publications and the figure; they preserve
+// the clear area-vs-performance trade-off the figure demonstrates.
+type CatalogEntry struct {
+	Name              string
+	Year              int
+	AreaKGates        float64
+	AvgCyclesPerBlock float64
+}
+
+// Figure3Catalog returns the ten AES design points of Figure 3, ordered by
+// area. The trade-off is monotone in aggregate: small serial cores
+// (Hamalainen, Banerjee serial) pay hundreds of cycles per block, while
+// large pipelined datapaths (Mathew, Banerjee pipeline) approach one block
+// per cycle.
+func Figure3Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{Name: "Hamalainen-2006-Area", Year: 2006, AreaKGates: 3.1, AvgCyclesPerBlock: 160},
+		{Name: "Hamalainen-2006-Power", Year: 2006, AreaKGates: 3.2, AvgCyclesPerBlock: 160},
+		{Name: "Banerjee-2019", Year: 2019, AreaKGates: 3.0, AvgCyclesPerBlock: 336},
+		{Name: "Hamalainen-2006-Speed", Year: 2006, AreaKGates: 3.9, AvgCyclesPerBlock: 44},
+		{Name: "Satoh-2001", Year: 2001, AreaKGates: 5.4, AvgCyclesPerBlock: 54},
+		{Name: "Banerjee-2017-Parallel", Year: 2017, AreaKGates: 9.2, AvgCyclesPerBlock: 11},
+		{Name: "Zhang-2016", Year: 2016, AreaKGates: 12.0, AvgCyclesPerBlock: 10},
+		{Name: "Mathew-2011", Year: 2011, AreaKGates: 35.0, AvgCyclesPerBlock: 5},
+		{Name: "Mathew-2015", Year: 2015, AreaKGates: 42.0, AvgCyclesPerBlock: 2},
+		{Name: "Banerjee-2017-Pipeline", Year: 2017, AreaKGates: 78.8, AvgCyclesPerBlock: 1},
+	}
+}

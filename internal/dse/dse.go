@@ -1,0 +1,148 @@
+// Package dse drives the design-space exploration of Section 5.2-5.3:
+// sweeps over cryptographic-engine configurations, PE-array shapes and
+// global-buffer sizes, evaluation of each design point with the SecureLoop
+// scheduler, and Pareto-front extraction for the area-vs-performance
+// trade-off of Figure 16.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"secureloop/internal/accelergy"
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/workload"
+)
+
+// DesignPoint is one evaluated secure-accelerator design.
+type DesignPoint struct {
+	// Spec and Crypto identify the design.
+	Spec   arch.Spec
+	Crypto cryptoengine.Config
+	// AreaMM2 is the total die area (accelerator + crypto engines).
+	AreaMM2 float64
+	// CryptoAreaOverheadPct is the Figure 13 gate-relative overhead.
+	CryptoAreaOverheadPct float64
+	// Cycles and EnergyPJ are the scheduled workload totals.
+	Cycles   int64
+	EnergyPJ float64
+	// UnsecureCycles is the same architecture without crypto engines.
+	UnsecureCycles int64
+	// Pareto marks membership of the area/latency Pareto front (set by
+	// MarkPareto).
+	Pareto bool
+}
+
+// Slowdown returns cycles over the unsecure baseline's cycles.
+func (d DesignPoint) Slowdown() float64 {
+	if d.UnsecureCycles == 0 {
+		return 0
+	}
+	return float64(d.Cycles) / float64(d.UnsecureCycles)
+}
+
+// Label names the design point compactly.
+func (d DesignPoint) Label() string {
+	return fmt.Sprintf("pe%dx%d/glb%dkB/%s",
+		d.Spec.PEsX, d.Spec.PEsY, d.Spec.GlobalBufferBytes/1024, d.Crypto)
+}
+
+// Evaluate schedules the network on one design with the given algorithm and
+// fills in area and performance.
+func Evaluate(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm) (DesignPoint, error) {
+	s := core.New(spec, crypto)
+	res, err := s.ScheduleNetwork(net, alg)
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	base, err := s.ScheduleNetwork(net, core.Unsecure)
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	return DesignPoint{
+		Spec:   spec,
+		Crypto: crypto,
+		AreaMM2: accelergy.TotalAreaMM2(
+			spec.NumPEs(), spec.GlobalBufferBytes, crypto.TotalAreaKGates()),
+		CryptoAreaOverheadPct: accelergy.CryptoAreaOverheadPercent(
+			crypto.TotalAreaKGates(), spec.NumPEs()),
+		Cycles:         res.Total.Cycles,
+		EnergyPJ:       res.Total.EnergyPJ,
+		UnsecureCycles: base.Total.Cycles,
+	}, nil
+}
+
+// Sweep evaluates the cross product of architectures and crypto configs on
+// one workload.
+func Sweep(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm) ([]DesignPoint, error) {
+	var out []DesignPoint
+	for _, spec := range specs {
+		for _, c := range cryptos {
+			dp, err := Evaluate(net, spec, c, alg)
+			if err != nil {
+				return nil, fmt.Errorf("dse: %s %s: %w", spec.Name, c, err)
+			}
+			out = append(out, dp)
+		}
+	}
+	return out, nil
+}
+
+// Figure16Space returns the design space of the paper's final trade-off
+// study: PE arrays {14x12, 14x24, 28x24} x GLB {16, 32, 131 kB} x crypto
+// engines {pipelined x1, parallel x1, serial x30}.
+func Figure16Space(base arch.Spec) ([]arch.Spec, []cryptoengine.Config) {
+	var specs []arch.Spec
+	for _, pe := range arch.PEConfigs() {
+		for _, glb := range arch.BufferConfigs() {
+			specs = append(specs, base.WithPEs(pe[0], pe[1]).WithGlobalBuffer(glb))
+		}
+	}
+	cryptos := []cryptoengine.Config{
+		{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1},
+		{Engine: cryptoengine.Parallel(), CountPerDatatype: 1},
+		{Engine: cryptoengine.Serial(), CountPerDatatype: 30},
+	}
+	return specs, cryptos
+}
+
+// MarkPareto sets Pareto on every point not dominated in (AreaMM2, Cycles):
+// a point is on the front if no other point has both smaller-or-equal area
+// and smaller-or-equal latency (with at least one strict).
+func MarkPareto(points []DesignPoint) {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa.AreaMM2 != pb.AreaMM2 {
+			return pa.AreaMM2 < pb.AreaMM2
+		}
+		return pa.Cycles < pb.Cycles
+	})
+	best := int64(1<<62 - 1)
+	for _, i := range idx {
+		p := &points[i]
+		p.Pareto = p.Cycles < best
+		if p.Cycles < best {
+			best = p.Cycles
+		}
+	}
+}
+
+// ParetoFront returns the Pareto-optimal points sorted by area.
+func ParetoFront(points []DesignPoint) []DesignPoint {
+	cp := append([]DesignPoint(nil), points...)
+	MarkPareto(cp)
+	var out []DesignPoint
+	for _, p := range cp {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].AreaMM2 < out[b].AreaMM2 })
+	return out
+}

@@ -1,0 +1,145 @@
+package dse
+
+import (
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/workload"
+)
+
+func TestMarkParetoSimple(t *testing.T) {
+	pts := []DesignPoint{
+		{AreaMM2: 1.0, Cycles: 100}, // dominated by none: smallest area
+		{AreaMM2: 2.0, Cycles: 50},  // front
+		{AreaMM2: 2.5, Cycles: 60},  // dominated by (2.0, 50)
+		{AreaMM2: 3.0, Cycles: 40},  // front
+		{AreaMM2: 3.5, Cycles: 40},  // dominated (same cycles, more area)
+	}
+	MarkPareto(pts)
+	want := []bool{true, true, false, true, false}
+	for i, w := range want {
+		if pts[i].Pareto != w {
+			t.Errorf("point %d: pareto = %v, want %v", i, pts[i].Pareto, w)
+		}
+	}
+}
+
+func TestParetoFrontSortedAndMinimal(t *testing.T) {
+	pts := []DesignPoint{
+		{AreaMM2: 3, Cycles: 10},
+		{AreaMM2: 1, Cycles: 30},
+		{AreaMM2: 2, Cycles: 20},
+		{AreaMM2: 2.5, Cycles: 25}, // dominated
+	}
+	front := ParetoFront(pts)
+	if len(front) != 3 {
+		t.Fatalf("front size %d", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].AreaMM2 < front[i-1].AreaMM2 {
+			t.Error("front not sorted by area")
+		}
+		if front[i].Cycles >= front[i-1].Cycles {
+			t.Error("front cycles not strictly decreasing")
+		}
+	}
+}
+
+func TestSlowdownAndLabel(t *testing.T) {
+	p := DesignPoint{
+		Spec:           arch.Base(),
+		Crypto:         cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 2},
+		Cycles:         200,
+		UnsecureCycles: 100,
+	}
+	if p.Slowdown() != 2 {
+		t.Errorf("slowdown = %g", p.Slowdown())
+	}
+	if p.Label() != "pe14x12/glb131kB/parallel x 2" {
+		t.Errorf("label = %q", p.Label())
+	}
+	if (DesignPoint{}).Slowdown() != 0 {
+		t.Error("zero-baseline slowdown")
+	}
+}
+
+func TestFigure16Space(t *testing.T) {
+	specs, cryptos := Figure16Space(arch.Base())
+	if len(specs) != 9 {
+		t.Errorf("%d specs, want 9 (3 PE arrays x 3 buffers)", len(specs))
+	}
+	if len(cryptos) != 3 {
+		t.Errorf("%d crypto configs, want 3", len(cryptos))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate spec name %s", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestEvaluateOnePoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduling run")
+	}
+	net := workload.AlexNet()
+	dp, err := Evaluate(net, arch.Base(),
+		cryptoengine.Config{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1},
+		core.CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dp.AreaMM2 <= 0 || dp.Cycles <= 0 || dp.UnsecureCycles <= 0 {
+		t.Errorf("bad design point: %+v", dp)
+	}
+	if dp.Slowdown() < 1 {
+		t.Errorf("secure design faster than unsecure: %g", dp.Slowdown())
+	}
+	if dp.CryptoAreaOverheadPct < 30 || dp.CryptoAreaOverheadPct > 40 {
+		t.Errorf("pipelined overhead %g%%, want ~35%%", dp.CryptoAreaOverheadPct)
+	}
+}
+
+func TestSweepSmallSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduling runs")
+	}
+	net := workload.AlexNet()
+	specs := []arch.Spec{arch.Base(), arch.Base().WithGlobalBuffer(32 * 1024)}
+	cryptos := []cryptoengine.Config{
+		{Engine: cryptoengine.Parallel(), CountPerDatatype: 1},
+		{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1},
+	}
+	points, err := Sweep(net, specs, cryptos, core.CryptOptSingle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("%d points", len(points))
+	}
+	MarkPareto(points)
+	var onFront int
+	for _, p := range points {
+		if p.Cycles <= 0 || p.AreaMM2 <= 0 {
+			t.Errorf("bad point %+v", p)
+		}
+		if p.Pareto {
+			onFront++
+		}
+	}
+	if onFront == 0 {
+		t.Error("no Pareto points")
+	}
+	// The pipelined design must be at least as fast as the parallel one on
+	// the same architecture.
+	if points[0].Cycles < points[1].Cycles {
+		t.Error("parallel engine outran pipelined")
+	}
+}

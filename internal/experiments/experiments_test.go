@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFig3Table(t *testing.T) {
+	tab := Fig3()
+	if len(tab.Rows) != 10 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if !strings.Contains(tab.CSV(), "Banerjee-2017-Pipeline") {
+		t.Error("catalog entry missing from CSV")
+	}
+}
+
+func TestTable2Table(t *testing.T) {
+	tab := Table2()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "pipelined" {
+		t.Errorf("first engine %q", tab.Rows[0][0])
+	}
+}
+
+func TestFig9OptimaMatchPaper(t *testing.T) {
+	h, v := Fig9()
+	if len(h.Rows) != 30 || len(v.Rows) != 900 {
+		t.Fatalf("sweep sizes %d/%d", len(h.Rows), len(v.Rows))
+	}
+	best := func(tab Table) (u int, total int64) {
+		total = 1 << 62
+		for _, r := range tab.Rows {
+			uu, _ := strconv.Atoi(r[0])
+			tt, _ := strconv.ParseInt(r[3], 10, 64)
+			if tt < total {
+				u, total = uu, tt
+			}
+		}
+		return u, total
+	}
+	// Section 4.2: "the optimal assignment choice is to set u = 10" for the
+	// horizontal orientation, and "the optimal AuthBlock size is 300" for
+	// the vertical one.
+	if u, _ := best(h); u != 10 {
+		t.Errorf("horizontal optimum u = %d, paper says 10", u)
+	}
+	if u, _ := best(v); u != 300 {
+		t.Errorf("vertical optimum u = %d, paper says 300", u)
+	}
+	// Vertical redundant reads vanish whenever u divides 300.
+	for _, r := range v.Rows {
+		u, _ := strconv.Atoi(r[0])
+		red, _ := strconv.ParseInt(r[1], 10, 64)
+		if u <= 300 && 300%u == 0 && red != 0 {
+			t.Errorf("u=%d divides 300 but redundant = %d", u, red)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Name: "x", Title: "T", Header: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("z", 3.25)
+	csv := tab.CSV()
+	if csv != "a,bb\n1,2.5\nz,3.25\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+	txt := tab.Text()
+	if !strings.Contains(txt, "## x — T") {
+		t.Errorf("Text missing title: %q", txt)
+	}
+}
+
+func TestOptionsScaling(t *testing.T) {
+	full := Options{}
+	if full.annealIters(1000) != 1000 || full.seeds(5) != 5 {
+		t.Error("full options scaled")
+	}
+	quick := Options{Quick: true}
+	if quick.annealIters(1000) != 100 || quick.seeds(5) != 1 {
+		t.Error("quick options not scaled")
+	}
+}
+
+// TestFig12QuickShape runs the roofline experiment in quick mode and checks
+// the paper's qualitative claims: every workload is compute-bound on the
+// unsecure baseline, and MobileNetV2 becomes crypto-bound when secured.
+func TestFig12QuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiment")
+	}
+	tab := Fig12(Options{Quick: true})
+	bounds := map[string]string{}
+	for _, r := range tab.Rows {
+		bounds[r[0]] = r[3]
+	}
+	for _, w := range []string{"AlexNet", "ResNet18", "MobileNetV2"} {
+		if got := bounds[w+"/Unsecure"]; got != "compute" {
+			t.Errorf("%s unsecure bound = %q, want compute", w, got)
+		}
+	}
+	if got := bounds["MobileNetV2/Crypt-Tile-Single"]; got != "crypto" {
+		t.Errorf("secured MobileNetV2 bound = %q, want crypto", got)
+	}
+}
+
+// TestDSEFiguresQuick exercises the design-space experiments end to end in
+// quick mode, checking the paper's qualitative claims rather than numbers.
+func TestDSEFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("macro experiments")
+	}
+	opts := Options{Quick: true}
+
+	dram := DRAMStudy(opts)
+	if len(dram.Rows) != 3 {
+		t.Fatalf("dram rows %d", len(dram.Rows))
+	}
+	// Same secure latency for all three technologies (crypto-bound).
+	if dram.Rows[0][3] != dram.Rows[1][3] || dram.Rows[0][3] != dram.Rows[2][3] {
+		t.Errorf("secure latency varies with DRAM tech: %v", dram.Rows)
+	}
+
+	fig16, points := Fig16(opts)
+	if len(fig16.Rows) != 27 || len(points) != 27 {
+		t.Fatalf("fig16 has %d points", len(points))
+	}
+	var front, pipelinedFront int
+	for _, p := range points {
+		if p.Pareto {
+			front++
+			if p.Crypto.Engine.Name == "pipelined" {
+				pipelinedFront++
+			}
+		}
+		// Section 5.3: big arrays with slow engines are dominated.
+		if p.Pareto && p.Spec.NumPEs() >= 672 && p.Crypto.Engine.Name == "serial" {
+			t.Errorf("dominated design on the front: %s", p.Label())
+		}
+	}
+	if front == 0 || pipelinedFront == 0 {
+		t.Errorf("front %d (pipelined %d)", front, pipelinedFront)
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/workload"
+)
+
+// HashSizeStudy is an extension beyond the paper: sweep the stored
+// authentication-tag width (the paper fixes one hash size; deployments
+// choose between truncated 32/64-bit tags and full 128-bit GCM tags, a
+// security/traffic trade-off). Reports latency and authentication traffic
+// on MobileNetV2 under Crypt-Opt-Cross for each tag width: larger tags cost
+// more hash traffic, and the optimal AuthBlock size shifts larger to
+// amortise them.
+func HashSizeStudy(opts Options) Table {
+	t := Table{
+		Name:   "hashsize",
+		Title:  "tag-width sensitivity (MobileNetV2, parallel AES-GCM, Crypt-Opt-Cross)",
+		Header: []string{"hash_bits", "cycles", "norm_latency", "hash_Mbit", "redundant_Mbit", "total_auth_Mbit"},
+	}
+	net := workload.MobileNetV2()
+	spec := arch.Base()
+	base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+	if err != nil {
+		panic(err)
+	}
+	for _, hashBits := range []int{32, 64, 128} {
+		s := core.New(spec, baseCrypto())
+		s.Anneal.Iterations = opts.annealIters(400)
+		s.Params.HashBits = hashBits
+		res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(hashBits,
+			res.Total.Cycles,
+			float64(res.Total.Cycles)/float64(base.Total.Cycles),
+			float64(res.Traffic.HashBits)/1e6,
+			float64(res.Traffic.RedundantBits)/1e6,
+			float64(res.Traffic.Total())/1e6)
+	}
+	return t
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"secureloop/internal/accelergy"
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/dse"
+	"secureloop/internal/workload"
+)
+
+// sweepScheduler builds a scheduler tuned for design-space sweeps: the
+// Crypt-Opt-Cross algorithm with a reduced annealing budget (the
+// cross-layer gain is a few percent and stable, so sweeps spend their time
+// on the space, not the tail of each point).
+func sweepScheduler(spec arch.Spec, crypto cryptoengine.Config, opts Options) *core.Scheduler {
+	s := core.New(spec, crypto)
+	s.Anneal.Iterations = opts.annealIters(200)
+	return s
+}
+
+// Fig13 reproduces Figure 13: slowdown over the unsecure baseline and
+// crypto area overhead for six engine configurations, per workload.
+func Fig13(opts Options) Table {
+	t := Table{
+		Name:   "fig13",
+		Title:  "slowdown and area overhead vs crypto engine configuration",
+		Header: []string{"workload", "config", "slowdown", "area_overhead_pct", "crypto_kgates"},
+	}
+	spec := arch.Base()
+	for _, net := range workload.Networks() {
+		base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+		if err != nil {
+			panic(err)
+		}
+		for _, cfg := range cryptoengine.Figure13Configs() {
+			s := sweepScheduler(spec, cfg, opts)
+			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+			if err != nil {
+				panic(err)
+			}
+			dp := dse.DesignPoint{Spec: spec, Crypto: cfg,
+				Cycles: res.Total.Cycles, UnsecureCycles: base.Total.Cycles}
+			t.AddRow(net.Name, cfg.String(), dp.Slowdown(),
+				accelergy.CryptoAreaOverheadPercent(cfg.TotalAreaKGates(), spec.NumPEs()),
+				cfg.TotalAreaKGates())
+		}
+	}
+	return t
+}
+
+// Fig14 reproduces Figure 14: latency for PE arrays 14x12 / 14x24 / 28x24
+// under the unsecure baseline, a pipelined AES-GCM and a parallel AES-GCM.
+func Fig14(opts Options) Table {
+	t := Table{
+		Name:   "fig14",
+		Title:  "latency (cycles) vs PE array size",
+		Header: []string{"workload", "pe_array", "unsecure", "pipelined", "parallel"},
+	}
+	for _, net := range workload.Networks() {
+		for _, pe := range arch.PEConfigs() {
+			spec := arch.Base().WithPEs(pe[0], pe[1])
+			row := []interface{}{net.Name, label2(pe[0], pe[1])}
+			base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, base.Total.Cycles)
+			for _, engine := range []cryptoengine.EngineArch{cryptoengine.Pipelined(), cryptoengine.Parallel()} {
+				cfg := cryptoengine.Config{Engine: engine, CountPerDatatype: 1}
+				res, err := sweepScheduler(spec, cfg, opts).ScheduleNetwork(net, core.CryptOptCross)
+				if err != nil {
+					panic(err)
+				}
+				row = append(row, res.Total.Cycles)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Fig15 reproduces Figure 15: latency for global-buffer sizes 16/32/131 kB.
+func Fig15(opts Options) Table {
+	t := Table{
+		Name:   "fig15",
+		Title:  "latency (cycles) vs on-chip buffer size",
+		Header: []string{"workload", "glb", "unsecure", "pipelined", "parallel"},
+	}
+	for _, net := range workload.Networks() {
+		for _, glb := range arch.BufferConfigs() {
+			spec := arch.Base().WithGlobalBuffer(glb)
+			row := []interface{}{net.Name, labelKB(glb)}
+			base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+			if err != nil {
+				panic(err)
+			}
+			row = append(row, base.Total.Cycles)
+			for _, engine := range []cryptoengine.EngineArch{cryptoengine.Pipelined(), cryptoengine.Parallel()} {
+				cfg := cryptoengine.Config{Engine: engine, CountPerDatatype: 1}
+				res, err := sweepScheduler(spec, cfg, opts).ScheduleNetwork(net, core.CryptOptCross)
+				if err != nil {
+					panic(err)
+				}
+				row = append(row, res.Total.Cycles)
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// DRAMStudy reproduces the Section 5.2 "Different DRAM Technologies"
+// experiment on AlexNet: latency and energy under LPDDR4-64B, LPDDR4-128B
+// and HBM2-64B, secure (parallel engine) and unsecure.
+func DRAMStudy(opts Options) Table {
+	t := Table{
+		Name:   "dram",
+		Title:  "DRAM technology study (AlexNet): latency and energy",
+		Header: []string{"dram", "unsecure_cycles", "unsecure_uj", "secure_cycles", "secure_uj"},
+	}
+	net := workload.AlexNet()
+	for _, tech := range arch.DRAMTechs() {
+		spec := arch.Base().WithDRAM(tech)
+		base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+		if err != nil {
+			panic(err)
+		}
+		res, err := sweepScheduler(spec, baseCrypto(), opts).ScheduleNetwork(net, core.CryptOptCross)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(tech.Name,
+			base.Total.Cycles, base.Total.EnergyPJ/1e6,
+			res.Total.Cycles, res.Total.EnergyPJ/1e6)
+	}
+	return t
+}
+
+// Fig16 reproduces Figure 16: the area-vs-latency scatter over the
+// {PE array} x {GLB} x {crypto engine} space on AlexNet, with the Pareto
+// front marked.
+func Fig16(opts Options) (Table, []dse.DesignPoint) {
+	t := Table{
+		Name:   "fig16",
+		Title:  "area vs performance trade-off (AlexNet) with Pareto front",
+		Header: []string{"design", "area_mm2", "cycles", "slowdown", "pareto"},
+	}
+	net := workload.AlexNet()
+	specs, cryptos := dse.Figure16Space(arch.Base())
+	var points []dse.DesignPoint
+	for _, spec := range specs {
+		for _, cfg := range cryptos {
+			s := sweepScheduler(spec, cfg, opts)
+			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+			if err != nil {
+				panic(err)
+			}
+			base, err := core.New(spec, cfg).ScheduleNetwork(net, core.Unsecure)
+			if err != nil {
+				panic(err)
+			}
+			points = append(points, dse.DesignPoint{
+				Spec: spec, Crypto: cfg,
+				AreaMM2:        accelergy.TotalAreaMM2(spec.NumPEs(), spec.GlobalBufferBytes, cfg.TotalAreaKGates()),
+				Cycles:         res.Total.Cycles,
+				EnergyPJ:       res.Total.EnergyPJ,
+				UnsecureCycles: base.Total.Cycles,
+			})
+		}
+	}
+	dse.MarkPareto(points)
+	for _, p := range points {
+		t.AddRow(p.Label(), p.AreaMM2, p.Cycles, p.Slowdown(), p.Pareto)
+	}
+	return t, points
+}
+
+func label2(x, y int) string { return itoa(x) + "x" + itoa(y) }
+func labelKB(b int) string   { return itoa(b/1024) + "kB" }
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/roofline"
+	"secureloop/internal/workload"
+)
+
+// baseCrypto is the Section 5.1 engine: one area-efficient parallel AES-GCM
+// engine per datatype.
+func baseCrypto() cryptoengine.Config {
+	return cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1}
+}
+
+// Fig10 reproduces Figure 10: speedup (%) of cross-layer annealing over the
+// top-1-per-layer schedule for k = 1..10, at 1000 and 5000 iterations, on
+// MobileNetV2 with the base architecture and a parallel AES-GCM engine.
+func Fig10(opts Options) Table {
+	t := Table{
+		Name:   "fig10",
+		Title:  "annealing speedup vs k (MobileNetV2, parallel AES-GCM)",
+		Header: []string{"k", "speedup_pct_1000iter", "speedup_pct_5000iter"},
+	}
+	net := workload.MobileNetV2()
+	spec := arch.Base()
+
+	baseline := func() int64 {
+		s := core.New(spec, baseCrypto())
+		res, err := s.ScheduleNetwork(net, core.CryptOptSingle)
+		if err != nil {
+			panic(err)
+		}
+		return res.Total.Cycles
+	}()
+
+	ks := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if opts.Quick {
+		ks = []int{1, 2, 4, 6, 10}
+	}
+	for _, k := range ks {
+		row := []interface{}{k}
+		for _, iters := range []int{1000, 5000} {
+			s := core.New(spec, baseCrypto())
+			s.TopK = k
+			s.Anneal.Iterations = opts.annealIters(iters)
+			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+			if err != nil {
+				panic(err)
+			}
+			speedup := 100 * (1 - float64(res.Total.Cycles)/float64(baseline))
+			row = append(row, speedup)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig11Result holds one workload's Figure 11 numbers.
+type Fig11Result struct {
+	Workload string
+	// NormLatency maps algorithm -> cycles normalised to the unsecure
+	// baseline (Figure 11a).
+	NormLatency map[core.Algorithm]float64
+	// Traffic maps algorithm -> overhead breakdown (Figure 11b).
+	Traffic map[core.Algorithm]core.Traffic
+	// EDPImprovementPct is the Crypt-Opt-Cross EDP gain over
+	// Crypt-Tile-Single (the paper's headline 50.2%).
+	EDPImprovementPct float64
+	// SpeedupPct is the Crypt-Opt-Cross latency gain over Crypt-Tile-Single
+	// (the paper's headline 33.2%).
+	SpeedupPct float64
+}
+
+// Fig11 runs the scheduling-algorithm comparison of Figure 11 on the three
+// workloads. For MobileNetV2 the paper reports the mean of 5 annealing
+// seeds; opts.Quick reduces that to 1.
+func Fig11(opts Options) (latency, traffic Table, results []Fig11Result) {
+	latency = Table{
+		Name:   "fig11a",
+		Title:  "normalized latency vs unsecure baseline",
+		Header: []string{"workload", "crypt-tile-single", "crypt-opt-single", "crypt-opt-cross", "speedup_pct", "edp_gain_pct"},
+	}
+	traffic = Table{
+		Name:   "fig11b",
+		Title:  "additional off-chip traffic (bits): rehash / redundant / hash",
+		Header: []string{"workload", "algorithm", "rehash_bits", "redundant_bits", "hash_bits", "total_bits"},
+	}
+	spec := arch.Base()
+	for _, net := range workload.Networks() {
+		s := core.New(spec, baseCrypto())
+		s.Anneal.Iterations = opts.annealIters(1000)
+		base, err := s.ScheduleNetwork(net, core.Unsecure)
+		if err != nil {
+			panic(err)
+		}
+		r := Fig11Result{
+			Workload:    net.Name,
+			NormLatency: map[core.Algorithm]float64{},
+			Traffic:     map[core.Algorithm]core.Traffic{},
+		}
+		var edp = map[core.Algorithm]float64{}
+		for _, alg := range core.Algorithms() {
+			seeds := 1
+			if alg == core.CryptOptCross && net.Name == "MobileNetV2" {
+				seeds = opts.seeds(5)
+			}
+			var cycles, edpSum float64
+			var tr core.Traffic
+			for seed := 0; seed < seeds; seed++ {
+				s.Anneal.Seed = int64(seed + 1)
+				res, err := s.ScheduleNetwork(net, alg)
+				if err != nil {
+					panic(err)
+				}
+				cycles += float64(res.Total.Cycles)
+				edpSum += res.Total.EDP()
+				tr = res.Traffic
+			}
+			cycles /= float64(seeds)
+			edp[alg] = edpSum / float64(seeds)
+			r.NormLatency[alg] = cycles / float64(base.Total.Cycles)
+			r.Traffic[alg] = tr
+			traffic.AddRow(net.Name, alg.String(),
+				tr.RehashBits, tr.RedundantBits, tr.HashBits, tr.Total())
+		}
+		r.SpeedupPct = 100 * (1 - r.NormLatency[core.CryptOptCross]/r.NormLatency[core.CryptTileSingle])
+		r.EDPImprovementPct = 100 * (1 - edp[core.CryptOptCross]/edp[core.CryptTileSingle])
+		latency.AddRow(net.Name,
+			r.NormLatency[core.CryptTileSingle],
+			r.NormLatency[core.CryptOptSingle],
+			r.NormLatency[core.CryptOptCross],
+			r.SpeedupPct, r.EDPImprovementPct)
+		results = append(results, r)
+	}
+	return latency, traffic, results
+}
+
+// Fig12 reproduces Figure 12: roofline placements of the three workloads
+// under the unsecure baseline and the three secure scheduling algorithms,
+// plus the roofline's roofs (compute, memory, crypto).
+func Fig12(opts Options) Table {
+	t := Table{
+		Name:   "fig12",
+		Title:  "roofline: operational intensity vs performance (GFLOPS at 100 MHz)",
+		Header: []string{"point", "intensity_ops_per_byte", "gops", "bound"},
+	}
+	spec := arch.Base()
+	rl := roofline.FromSecureArch(&spec, baseCrypto())
+	t.AddRow("roof:compute", math.Inf(1), rl.PeakOpsPerSec/1e9, "peak")
+	t.AddRow("roof:memory_ridge", rl.PeakOpsPerSec/rl.MemBytesPerSec, rl.PeakOpsPerSec/1e9, "memory")
+	t.AddRow("roof:crypto_ridge", rl.RidgeIntensity(), rl.Attainable(rl.RidgeIntensity())/1e9, "crypto")
+
+	algs := []core.Algorithm{core.Unsecure, core.CryptTileSingle, core.CryptOptSingle, core.CryptOptCross}
+	for _, net := range workload.Networks() {
+		s := core.New(spec, baseCrypto())
+		s.Anneal.Iterations = opts.annealIters(1000)
+		for _, alg := range algs {
+			res, err := s.ScheduleNetwork(net, alg)
+			if err != nil {
+				panic(err)
+			}
+			p := roofline.PointFor(fmt.Sprintf("%s/%s", net.Name, alg), net.TotalMACs(), res.Total, spec.ClockHz)
+			bound := "compute"
+			if res.Total.Cycles == res.Total.CryptoCycles && alg != core.Unsecure {
+				bound = "crypto"
+			} else if res.Total.Cycles == res.Total.DRAMCycles {
+				bound = "memory"
+			}
+			t.AddRow(p.Name, p.Intensity, p.OpsPerSec/1e9, bound)
+		}
+	}
+	return t
+}

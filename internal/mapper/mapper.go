@@ -1,0 +1,464 @@
+// Package mapper searches the loopnest-schedule space of one layer on one
+// architecture, the role Timeloop plays in the paper's first scheduling
+// step. The search enumerates spatial mappings, per-dimension tile sizes
+// and loop permutations, prunes by buffer capacity, scores candidates with
+// the model's effective-bandwidth cost (Section 4.1) and returns the top-k
+// distinct schedules per layer — the neighbour sets the simulated-annealing
+// step samples from (Section 4.3).
+package mapper
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"secureloop/internal/mapping"
+	"secureloop/internal/model"
+	"secureloop/internal/workload"
+)
+
+// Candidate is one scored schedule.
+type Candidate struct {
+	Mapping *mapping.Mapping
+	// Cycles is the step-1 scheduling cost: latency under the effective
+	// off-chip bandwidth, before authentication overhead.
+	Cycles int64
+	// OffchipBits is the data-only off-chip traffic, used as a tie-breaker
+	// (among equal-latency schedules, less traffic means less energy and
+	// less authentication exposure).
+	OffchipBits int64
+}
+
+// better reports whether a should rank before b.
+func (a Candidate) better(b Candidate) bool {
+	if a.Cycles != b.Cycles {
+		return a.Cycles < b.Cycles
+	}
+	return a.OffchipBits < b.OffchipBits
+}
+
+// Request describes one mapping search.
+type Request struct {
+	Layer *workload.Layer
+	// PEsX, PEsY give the PE array shape.
+	PEsX, PEsY int
+	// GLBBits and RFBits are buffer capacities.
+	GLBBits, RFBits int64
+	// EffectiveBytesPerCycle is the off-chip bandwidth the cost model
+	// assumes (min(DRAM, crypto) for secure designs).
+	EffectiveBytesPerCycle float64
+	// TopK is how many distinct schedules to return (>=1).
+	TopK int
+}
+
+// Search returns the top-k schedules for the request, best first. The
+// result is never empty for a valid layer: a degenerate all-sequential
+// mapping always fits.
+func Search(req Request) []Candidate {
+	if req.TopK < 1 {
+		req.TopK = 1
+	}
+	l := req.Layer
+
+	// Spatial choices are independent; search them in parallel and merge.
+	spatials := spatialChoices(l, req.PEsX, req.PEsY)
+	parts := make([]*topK, len(spatials))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, sp := range spatials {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, sp spatialChoice) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			part := newTopK(req.TopK)
+			searchTilings(req, sp, part)
+			parts[i] = part
+		}(i, sp)
+	}
+	wg.Wait()
+	best := newTopK(req.TopK)
+	for _, part := range parts {
+		for _, c := range part.sorted() {
+			best.offer(c)
+		}
+	}
+
+	out := best.sorted()
+	if len(out) == 0 {
+		// Fallback: fully sequential single-element tiles (always valid).
+		m := baseMapping(l, spatialChoice{})
+		for _, d := range mapping.Dims {
+			m.SetFactor(mapping.GLB, d, 1)
+		}
+		m.SetFactor(mapping.GLB, mapping.DimR, mapping.Bound(l, mapping.DimR))
+		m.SetFactor(mapping.GLB, mapping.DimS, mapping.Bound(l, mapping.DimS))
+		out = []Candidate{{
+			Mapping:     m,
+			Cycles:      model.SchedulingCycles(l, m, req.EffectiveBytesPerCycle),
+			OffchipBits: m.Offchip(l).TotalElems() * int64(l.WordBits),
+		}}
+	}
+	return out
+}
+
+// spatialChoice assigns one dimension to each PE-array axis.
+type spatialChoice struct {
+	dimX, dimY mapping.Dim
+	fx, fy     int
+}
+
+// spatialChoices enumerates spatial mappings: pairs of distinct dimensions
+// spread over the array columns/rows with the largest usable factors (and a
+// half-size alternative, which sometimes wins when it divides the bound
+// more evenly). The row-stationary assignment of the base architecture
+// (filter rows along the array rows, output columns along the array
+// columns) is always included.
+func spatialChoices(l *workload.Layer, pesX, pesY int) []spatialChoice {
+	xDims := []mapping.Dim{mapping.DimQ, mapping.DimP, mapping.DimM, mapping.DimC}
+	yDims := []mapping.Dim{mapping.DimR, mapping.DimM, mapping.DimC, mapping.DimP}
+	var out []spatialChoice
+	seen := map[[4]int]bool{}
+	for _, dx := range xDims {
+		for _, dy := range yDims {
+			if dx == dy {
+				continue
+			}
+			bx, by := mapping.Bound(l, dx), mapping.Bound(l, dy)
+			if bx <= 1 && by <= 1 {
+				continue
+			}
+			for _, fx := range spatialFactors(bx, pesX) {
+				for _, fy := range spatialFactors(by, pesY) {
+					if fx == 1 && fy == 1 {
+						continue
+					}
+					key := [4]int{int(dx), int(dy), fx, fy}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, spatialChoice{dimX: dx, dimY: dy, fx: fx, fy: fy})
+				}
+			}
+		}
+	}
+	// Degenerate: no spatial spreading (tiny layers).
+	out = append(out, spatialChoice{dimX: mapping.DimQ, dimY: mapping.DimR, fx: 1, fy: 1})
+	return out
+}
+
+// spatialFactors picks up to two factors for spreading a bound over an axis
+// of the given size: the largest value <= cap, and the best divisor of the
+// bound <= cap (avoiding padding waste).
+func spatialFactors(bound, cap int) []int {
+	if bound <= 1 || cap <= 1 {
+		return []int{1}
+	}
+	full := bound
+	if full > cap {
+		full = cap
+	}
+	div := 1
+	for f := full; f >= 1; f-- {
+		if bound%f == 0 {
+			div = f
+			break
+		}
+	}
+	if div == full {
+		return []int{full}
+	}
+	return []int{full, div}
+}
+
+// tileCandidates returns candidate GLB tile sizes for a dimension bound:
+// its divisors plus powers of two, capped to a small set.
+func tileCandidates(bound int) []int {
+	if bound <= 1 {
+		return []int{1}
+	}
+	set := map[int]bool{1: true, bound: true}
+	for d := 2; d*d <= bound; d++ {
+		if bound%d == 0 {
+			set[d] = true
+			set[bound/d] = true
+		}
+	}
+	for v := 2; v < bound; v *= 2 {
+		set[v] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	if len(out) > 12 {
+		// Keep a spread: always 1 and bound, subsample the middle.
+		kept := []int{out[0]}
+		step := float64(len(out)-2) / 10
+		for i := 0; i < 10; i++ {
+			kept = append(kept, out[1+int(float64(i)*step)])
+		}
+		kept = append(kept, out[len(out)-1])
+		out = dedupInts(kept)
+	}
+	return out
+}
+
+func dedupInts(in []int) []int {
+	sort.Ints(in)
+	out := in[:0]
+	prev := -1
+	for _, v := range in {
+		if v != prev {
+			out = append(out, v)
+			prev = v
+		}
+	}
+	return out
+}
+
+// baseMapping builds a mapping skeleton with the spatial choice applied,
+// filter dims resident at the register file, and all other factors 1.
+func baseMapping(l *workload.Layer, sp spatialChoice) *mapping.Mapping {
+	m := mapping.New()
+	if sp.fx > 1 {
+		m.SetFactor(mapping.SpatialX, sp.dimX, sp.fx)
+	}
+	if sp.fy > 1 {
+		m.SetFactor(mapping.SpatialY, sp.dimY, sp.fy)
+	}
+	// Filter rows/cols live in the PE register files (weight-row
+	// stationarity); when R is spread spatially the per-PE residue remains.
+	r := mapping.Bound(l, mapping.DimR)
+	s := mapping.Bound(l, mapping.DimS)
+	if sp.dimY == mapping.DimR && sp.fy > 1 {
+		r = ceilDiv(r, sp.fy)
+	}
+	if sp.dimX == mapping.DimR && sp.fx > 1 {
+		r = ceilDiv(r, sp.fx)
+	}
+	if sp.dimY == mapping.DimS && sp.fy > 1 {
+		s = ceilDiv(s, sp.fy)
+	}
+	m.SetFactor(mapping.RF, mapping.DimR, r)
+	m.SetFactor(mapping.RF, mapping.DimS, s)
+	return m
+}
+
+// searchTilings enumerates GLB tile sizes for C, M, P, Q on top of the
+// spatial skeleton, prunes by capacity, and scores survivors under a set of
+// loop-permutation heuristics.
+func searchTilings(req Request, sp spatialChoice, best *topK) {
+	l := req.Layer
+	skeleton := baseMapping(l, sp)
+
+	// Cheap lower bound on any permutation's cost: compute cycles (which
+	// are permutation-independent) and the cycles to move each tensor
+	// off-chip at least once. Tilings that cannot beat the current k-th
+	// best under this bound skip permutation scoring entirely.
+	minTrafficCycles := int64(float64(l.TotalVolume()*int64(l.WordBits)) / 8 / req.EffectiveBytesPerCycle)
+
+	cs := tileCandidates(mapping.Bound(l, mapping.DimC))
+	ms := tileCandidates(mapping.Bound(l, mapping.DimM))
+	ps := tileCandidates(mapping.Bound(l, mapping.DimP))
+	qs := tileCandidates(mapping.Bound(l, mapping.DimQ))
+
+	for _, ct := range cs {
+		for _, mt := range ms {
+			for _, pt := range ps {
+				for _, qt := range qs {
+					m := skeleton.Clone()
+					setGLBTile(m, l, mapping.DimC, ct)
+					setGLBTile(m, l, mapping.DimM, mt)
+					setGLBTile(m, l, mapping.DimP, pt)
+					setGLBTile(m, l, mapping.DimQ, qt)
+					// GLB holds full filter extents.
+					setGLBTile(m, l, mapping.DimR, mapping.Bound(l, mapping.DimR))
+					setGLBTile(m, l, mapping.DimS, mapping.Bound(l, mapping.DimS))
+
+					if m.GLBBitsUsed(l) > req.GLBBits {
+						continue
+					}
+					if m.RFBitsUsed(l) > req.RFBits {
+						continue
+					}
+					lower := m.TemporalIterations(l)
+					if lower < minTrafficCycles {
+						lower = minTrafficCycles
+					}
+					if kth, full := best.kthCycles(); full && lower > kth {
+						continue
+					}
+					scorePermutations(req, m, best)
+				}
+			}
+		}
+	}
+}
+
+// setGLBTile sets the GLB-level factor so that the tile covers `tile`
+// iterations of the dimension, given the factors already fixed below GLB.
+func setGLBTile(m *mapping.Mapping, l *workload.Layer, d mapping.Dim, tile int) {
+	below := m.Factor(mapping.RF, d) * m.Factor(mapping.SpatialX, d) * m.Factor(mapping.SpatialY, d)
+	if tile < below {
+		tile = below
+	}
+	m.SetFactor(mapping.GLB, d, ceilDiv(tile, below))
+}
+
+// permHeuristics are the DRAM-level loop orders tried per tiling, outermost
+// first: each makes one datatype maximally stationary off-chip, plus a
+// reduction-innermost order that streams ofmaps without partial-sum spills.
+var permHeuristics = [][]mapping.Dim{
+	// Ofmap stationary: reduction loops innermost, output loops outermost.
+	{mapping.DimM, mapping.DimP, mapping.DimQ, mapping.DimC, mapping.DimR, mapping.DimS},
+	{mapping.DimP, mapping.DimQ, mapping.DimM, mapping.DimC, mapping.DimR, mapping.DimS},
+	// Weight stationary: weight dims outermost, spatial output loops inner.
+	{mapping.DimC, mapping.DimM, mapping.DimP, mapping.DimQ, mapping.DimR, mapping.DimS},
+	{mapping.DimM, mapping.DimC, mapping.DimP, mapping.DimQ, mapping.DimR, mapping.DimS},
+	// Ifmap stationary: ifmap dims outermost, M innermost.
+	{mapping.DimC, mapping.DimP, mapping.DimQ, mapping.DimM, mapping.DimR, mapping.DimS},
+	{mapping.DimP, mapping.DimQ, mapping.DimC, mapping.DimM, mapping.DimR, mapping.DimS},
+}
+
+func scorePermutations(req Request, m *mapping.Mapping, best *topK) {
+	l := req.Layer
+	for _, perm := range permHeuristics {
+		mm := m.Clone()
+		mm.PermDRAM = perm
+		mm.PermGLB = perm
+		cycles := model.SchedulingCycles(l, mm, req.EffectiveBytesPerCycle)
+		bits := mm.Offchip(l).TotalElems() * int64(l.WordBits)
+		best.offer(Candidate{Mapping: mm, Cycles: cycles, OffchipBits: bits})
+	}
+}
+
+// topK keeps the best candidate per DRAM-tiling signature and returns the k
+// best of those. Distinct signatures (rather than distinct loopnests) keep
+// the returned set diverse in *tiling*, which is what the cross-layer
+// AuthBlock costs and therefore the annealing neighbourhood (Section 4.3)
+// actually respond to; for one tiling only its best permutation survives.
+type topK struct {
+	k    int
+	best map[string]Candidate
+	// lows tracks the k lowest cycle counts offered (for pruning).
+	lows []int64
+}
+
+func newTopK(k int) *topK {
+	return &topK{k: k, best: map[string]Candidate{}}
+}
+
+// signature captures the DRAM-level tile geometry: GLB tile extents and
+// spatial factors per dimension (permutation excluded).
+func signature(m *mapping.Mapping) string {
+	var b [4 * int(mapping.NumDims)]byte
+	for i, d := range mapping.Dims {
+		t := m.TileDim(mapping.GLB, d)
+		b[4*i] = byte(t)
+		b[4*i+1] = byte(t >> 8)
+		b[4*i+2] = byte(m.Factor(mapping.SpatialX, d))
+		b[4*i+3] = byte(m.Factor(mapping.SpatialY, d))
+	}
+	return string(b[:])
+}
+
+// kthCycles returns the k-th lowest cycle count seen so far and whether k
+// candidates have been seen yet. Pruning against it never loses the best
+// schedule (a pruned tiling's lower bound exceeds the best seen); it may
+// trim marginal candidates from the tail of the top-k, which is acceptable
+// for a heuristic neighbour set.
+func (t *topK) kthCycles() (int64, bool) {
+	if len(t.lows) < t.k {
+		return 0, false
+	}
+	return t.lows[t.k-1], true
+}
+
+func (t *topK) offer(c Candidate) {
+	if len(t.lows) < t.k {
+		t.lows = append(t.lows, c.Cycles)
+		sort.Slice(t.lows, func(i, j int) bool { return t.lows[i] < t.lows[j] })
+	} else if c.Cycles < t.lows[t.k-1] {
+		t.lows[t.k-1] = c.Cycles
+		sort.Slice(t.lows, func(i, j int) bool { return t.lows[i] < t.lows[j] })
+	}
+	key := signature(c.Mapping)
+	if cur, ok := t.best[key]; ok && cur.better(c) {
+		return
+	}
+	t.best[key] = c
+}
+
+func (t *topK) sorted() []Candidate {
+	out := make([]Candidate, 0, len(t.best))
+	for _, c := range t.best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].better(out[j]) })
+	if len(out) > t.k {
+		out = out[:t.k]
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// cache memoises searches across experiments (the same layer shapes recur
+// in every figure's sweep).
+var (
+	cacheMu sync.Mutex
+	cache   = map[cacheKey][]Candidate{}
+)
+
+type cacheKey struct {
+	layer workload.Layer
+	pesX  int
+	pesY  int
+	glb   int64
+	rf    int64
+	effBW float64
+	topK  int
+}
+
+// cacheTopK is the k the cache stores; requests for smaller k slice the
+// cached result, so sweeping k (the paper's Figure 10) costs one search.
+const cacheTopK = 10
+
+// SearchCached is Search with process-wide memoisation. Requests with
+// TopK <= cacheTopK share one cached search; larger requests bypass the
+// prefix optimisation and cache at their own k.
+func SearchCached(req Request) []Candidate {
+	storeK := cacheTopK
+	if req.TopK > storeK {
+		storeK = req.TopK
+	}
+	key := cacheKey{
+		layer: *req.Layer, pesX: req.PEsX, pesY: req.PEsY,
+		glb: req.GLBBits, rf: req.RFBits,
+		effBW: req.EffectiveBytesPerCycle, topK: storeK,
+	}
+	key.layer.Name = "" // shape-keyed: identical shapes share results
+	cacheMu.Lock()
+	got, ok := cache[key]
+	cacheMu.Unlock()
+	if !ok {
+		full := req
+		full.TopK = storeK
+		got = Search(full)
+		cacheMu.Lock()
+		cache[key] = got
+		cacheMu.Unlock()
+	}
+	if len(got) > req.TopK {
+		got = got[:req.TopK]
+	}
+	return got
+}

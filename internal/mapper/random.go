@@ -1,0 +1,77 @@
+package mapper
+
+import (
+	"math/rand"
+
+	"secureloop/internal/mapping"
+	"secureloop/internal/model"
+	"secureloop/internal/workload"
+)
+
+// RandomSearch is the random-pruned search mode Timeloop offers as an
+// alternative to exhaustive enumeration (paper Section 2.1: "supported
+// approximate methods like random pruning to reduce the search time"). It
+// samples `samples` random valid mappings — random spatial choice, random
+// tile sizes from the same candidate sets as Search, random permutation —
+// and keeps the top-k. Deterministic for a given seed.
+//
+// It exists as a cheaper, lower-quality substrate to quantify what the
+// exhaustive step-1 search buys (see BenchmarkRandomVsExhaustiveMapper).
+func RandomSearch(req Request, samples int, seed int64) []Candidate {
+	if req.TopK < 1 {
+		req.TopK = 1
+	}
+	l := req.Layer
+	rng := rand.New(rand.NewSource(seed))
+	best := newTopK(req.TopK)
+
+	spatials := spatialChoices(l, req.PEsX, req.PEsY)
+	cs := tileCandidates(mapping.Bound(l, mapping.DimC))
+	ms := tileCandidates(mapping.Bound(l, mapping.DimM))
+	ps := tileCandidates(mapping.Bound(l, mapping.DimP))
+	qs := tileCandidates(mapping.Bound(l, mapping.DimQ))
+
+	for i := 0; i < samples; i++ {
+		sp := spatials[rng.Intn(len(spatials))]
+		m := baseMapping(l, sp)
+		setGLBTile(m, l, mapping.DimC, cs[rng.Intn(len(cs))])
+		setGLBTile(m, l, mapping.DimM, ms[rng.Intn(len(ms))])
+		setGLBTile(m, l, mapping.DimP, ps[rng.Intn(len(ps))])
+		setGLBTile(m, l, mapping.DimQ, qs[rng.Intn(len(qs))])
+		setGLBTile(m, l, mapping.DimR, mapping.Bound(l, mapping.DimR))
+		setGLBTile(m, l, mapping.DimS, mapping.Bound(l, mapping.DimS))
+
+		if m.GLBBitsUsed(l) > req.GLBBits || m.RFBitsUsed(l) > req.RFBits {
+			continue
+		}
+		perm := append([]mapping.Dim(nil), mapping.Dims[:]...)
+		rng.Shuffle(len(perm), func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		m.PermDRAM = perm
+		m.PermGLB = perm
+
+		best.offer(Candidate{
+			Mapping:     m,
+			Cycles:      model.SchedulingCycles(l, m, req.EffectiveBytesPerCycle),
+			OffchipBits: m.Offchip(l).TotalElems() * int64(l.WordBits),
+		})
+	}
+	out := best.sorted()
+	if len(out) == 0 {
+		// Fall back to the exhaustive search's guaranteed-valid result.
+		return Search(req)
+	}
+	return out
+}
+
+// RandomQualityGap runs both searches and returns the best-cycles ratio
+// random/exhaustive (>= 1.0 when the exhaustive search wins, which it must
+// up to sampling luck on tiny spaces).
+func RandomQualityGap(req Request, samples int, seed int64) float64 {
+	_ = workload.Datatypes // keep the import graph explicit for godoc
+	r := RandomSearch(req, samples, seed)
+	e := Search(req)
+	if len(e) == 0 || e[0].Cycles == 0 {
+		return 1
+	}
+	return float64(r[0].Cycles) / float64(e[0].Cycles)
+}

@@ -1,0 +1,187 @@
+package mapping
+
+import (
+	"secureloop/internal/workload"
+)
+
+// OffchipTraffic summarises the DRAM-side data movement a mapping induces
+// for one layer, in elements (multiply by the layer's WordBits for bits).
+// Hash and redundant traffic from authentication is *not* included here; it
+// is computed by the authblock package on top of these tile fetch counts.
+type OffchipTraffic struct {
+	// ReadElems is the number of elements read from DRAM per datatype
+	// (Weight, Ifmap, Ofmap). Ofmap reads are partial-sum re-reads.
+	ReadElems [3]int64
+	// WriteElems is the number of ofmap (and partial-sum) elements written
+	// to DRAM.
+	WriteElems int64
+	// TileFetches is the number of tile-granularity off-chip transactions
+	// per datatype: how many times a GLB tile of that datatype crosses the
+	// chip boundary (reads; for ofmap, writes). AuthBlock overheads are
+	// charged per fetch.
+	TileFetches [3]int64
+}
+
+// TotalElems returns reads plus writes.
+func (t OffchipTraffic) TotalElems() int64 {
+	return t.ReadElems[0] + t.ReadElems[1] + t.ReadElems[2] + t.WriteElems
+}
+
+// DatatypeElems returns the off-chip elements moved for one datatype
+// (reads, plus writes for ofmap).
+func (t OffchipTraffic) DatatypeElems(dt workload.Datatype) int64 {
+	e := t.ReadElems[dt]
+	if dt == workload.Ofmap {
+		e += t.WriteElems
+	}
+	return e
+}
+
+// loop is one temporal loop with its trip count and per-datatype relevance.
+type loop struct {
+	dim   Dim
+	count int
+}
+
+// dramLoops returns the DRAM-level loops in permutation order (outermost
+// first) with their trip counts; loops with count 1 are dropped.
+func (m *Mapping) dramLoops(layer *workload.Layer) []loop {
+	return m.levelLoops(layer, m.PermDRAM, func(d Dim) int {
+		return m.OuterCount(layer, GLB, d)
+	})
+}
+
+// glbLoops returns the GLB-level loops in permutation order.
+func (m *Mapping) glbLoops(layer *workload.Layer) []loop {
+	return m.levelLoops(layer, m.PermGLB, func(d Dim) int {
+		return m.Factor(GLB, d)
+	})
+}
+
+func (m *Mapping) levelLoops(layer *workload.Layer, perm []Dim, count func(Dim) int) []loop {
+	var out []loop
+	var inPerm [NumDims]bool
+	for _, d := range perm {
+		inPerm[d] = true
+		if c := count(d); c > 1 {
+			out = append(out, loop{dim: d, count: c})
+		}
+	}
+	// Dimensions missing from the permutation count as outermost.
+	var missing []loop
+	for _, d := range Dims {
+		if !inPerm[d] {
+			if c := count(d); c > 1 {
+				missing = append(missing, loop{dim: d, count: c})
+			}
+		}
+	}
+	return append(missing, out...)
+}
+
+// visits computes how many times the tile of a datatype is (re)fetched while
+// executing the given ordered loops: the product of trip counts from the
+// outermost loop through the innermost loop relevant to the datatype. A
+// loop irrelevant to the datatype that sits outside a relevant loop forces a
+// refetch (the buffer holds a single live tile per datatype, double-buffered
+// for overlap); irrelevant loops inside the innermost relevant loop reuse
+// the tile. If no loop is relevant the tile is fetched exactly once.
+func visits(layer *workload.Layer, dt workload.Datatype, loops []loop) int64 {
+	last := -1
+	for i, lp := range loops {
+		if Relevant(layer, dt, lp.dim) {
+			last = i
+		}
+	}
+	v := int64(1)
+	for i := 0; i <= last; i++ {
+		v *= int64(loops[i].count)
+	}
+	return v
+}
+
+// distinctTiles counts the distinct tiles of a datatype the loops iterate
+// over: the product of relevant trip counts.
+func distinctTiles(layer *workload.Layer, dt workload.Datatype, loops []loop) int64 {
+	n := int64(1)
+	for _, lp := range loops {
+		if Relevant(layer, dt, lp.dim) {
+			n *= int64(lp.count)
+		}
+	}
+	return n
+}
+
+// Offchip computes the DRAM traffic of the mapping for the layer.
+//
+// Weights and ifmaps are read once per visit of their GLB tile. The ofmap
+// tile is written back once per visit; when reduction loops (C, R, S) run
+// outside the innermost ofmap-relevant DRAM loop the same output tile is
+// visited multiple times, and every visit after the first must first re-read
+// the partial sums it continues accumulating into.
+func (m *Mapping) Offchip(layer *workload.Layer) OffchipTraffic {
+	loops := m.dramLoops(layer)
+	var t OffchipTraffic
+
+	for _, dt := range []workload.Datatype{workload.Weight, workload.Ifmap} {
+		v := visits(layer, dt, loops)
+		tile := m.GLBTileElems(layer, dt)
+		t.ReadElems[dt] = v * tile
+		t.TileFetches[dt] = v
+	}
+
+	vOf := visits(layer, workload.Ofmap, loops)
+	nOf := distinctTiles(layer, workload.Ofmap, loops)
+	tileOf := m.GLBTileElems(layer, workload.Ofmap)
+	t.WriteElems = vOf * tileOf
+	if vOf > nOf {
+		t.ReadElems[workload.Ofmap] = (vOf - nOf) * tileOf
+	}
+	t.TileFetches[workload.Ofmap] = vOf
+	return t
+}
+
+// GLBAccesses summarises GLB-port traffic (elements) for energy estimation:
+// reads feeding the PE array and ofmap read-modify-write updates.
+type GLBAccesses struct {
+	ReadElems  [3]int64
+	WriteElems int64
+}
+
+// Total returns all GLB accesses.
+func (g GLBAccesses) Total() int64 {
+	return g.ReadElems[0] + g.ReadElems[1] + g.ReadElems[2] + g.WriteElems
+}
+
+// GLB computes the on-chip global-buffer traffic: the loops above the
+// register file are the DRAM loops followed by the GLB loops, and a datum
+// multicast to several PEs along an irrelevant spatial dimension is read
+// from the GLB once.
+func (m *Mapping) GLB(layer *workload.Layer) GLBAccesses {
+	loops := append(m.dramLoops(layer), m.glbLoops(layer)...)
+	var g GLBAccesses
+	for _, dt := range []workload.Datatype{workload.Weight, workload.Ifmap} {
+		v := visits(layer, dt, loops)
+		g.ReadElems[dt] = v * m.RFTileElems(layer, dt) * m.spatialInstances(layer, dt)
+	}
+	vOf := visits(layer, workload.Ofmap, loops)
+	nOf := distinctTiles(layer, workload.Ofmap, loops)
+	tile := m.RFTileElems(layer, workload.Ofmap) * m.spatialInstances(layer, workload.Ofmap)
+	g.WriteElems = vOf * tile
+	if vOf > nOf {
+		g.ReadElems[workload.Ofmap] = (vOf - nOf) * tile
+	}
+	return g
+}
+
+// spatialInstances counts how many PE-array positions hold distinct slices
+// of the datatype: the product of spatial factors over relevant dimensions.
+func (m *Mapping) spatialInstances(layer *workload.Layer, dt workload.Datatype) int64 {
+	n := int64(1)
+	for _, d := range Dims {
+		if Relevant(layer, dt, d) {
+			n *= int64(m.Factor(SpatialX, d)) * int64(m.Factor(SpatialY, d))
+		}
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+// Package mapping defines the loopnest intermediate representation a
+// schedule ("mapping") of one DNN layer onto a spatial accelerator: the
+// per-memory-level tiling factors, the loop permutations that determine data
+// reuse, and the spatial mapping onto the PE array. It mirrors the loopnest
+// abstraction of Timeloop that the paper builds its first scheduling step
+// upon (Section 2.1, Figure 1c).
+package mapping
+
+import "secureloop/internal/workload"
+
+// Dim is one of the six convolution loop dimensions (batch N is fixed to 1
+// in this model, matching the paper's inference workloads).
+type Dim int
+
+const (
+	// DimC indexes input channels.
+	DimC Dim = iota
+	// DimM indexes output channels (filters).
+	DimM
+	// DimP indexes output rows.
+	DimP
+	// DimQ indexes output columns.
+	DimQ
+	// DimR indexes filter rows.
+	DimR
+	// DimS indexes filter columns.
+	DimS
+
+	// NumDims is the dimension count.
+	NumDims
+)
+
+// Dims lists all dimensions in canonical order.
+var Dims = [NumDims]Dim{DimC, DimM, DimP, DimQ, DimR, DimS}
+
+var dimNames = [NumDims]string{"C", "M", "P", "Q", "R", "S"}
+
+// String returns the single-letter dimension name.
+func (d Dim) String() string {
+	if d < 0 || d >= NumDims {
+		return "?"
+	}
+	return dimNames[d]
+}
+
+// Bound returns the layer's loop bound for the dimension.
+func Bound(l *workload.Layer, d Dim) int {
+	switch d {
+	case DimC:
+		if l.Depthwise {
+			// The depthwise channel loop is carried by M; C collapses.
+			return 1
+		}
+		return l.C
+	case DimM:
+		return l.M
+	case DimP:
+		return l.P
+	case DimQ:
+		return l.Q
+	case DimR:
+		return l.R
+	case DimS:
+		return l.S
+	}
+	return 1
+}
+
+// Relevant reports whether dimension d indexes the given datatype's tensor,
+// i.e. whether advancing a loop over d changes which elements of the tensor
+// are touched. Dimensions irrelevant to a tensor provide temporal reuse for
+// it. For depthwise layers the channel loop (carried by M) indexes all
+// three tensors.
+func Relevant(l *workload.Layer, d workload.Datatype, dim Dim) bool {
+	switch d {
+	case workload.Weight:
+		switch dim {
+		case DimM, DimR, DimS:
+			return true
+		case DimC:
+			return !l.Depthwise
+		}
+		return false
+	case workload.Ifmap:
+		switch dim {
+		case DimC, DimP, DimQ, DimR, DimS:
+			return true
+		case DimM:
+			return l.Depthwise
+		}
+		return false
+	case workload.Ofmap:
+		switch dim {
+		case DimM, DimP, DimQ:
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// IsReduction reports whether the dimension is a reduction dimension for the
+// ofmap (advancing it accumulates into the same output elements).
+func IsReduction(l *workload.Layer, dim Dim) bool {
+	switch dim {
+	case DimC:
+		return !l.Depthwise
+	case DimR, DimS:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,320 @@
+package mapping
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"secureloop/internal/workload"
+)
+
+func testLayer() *workload.Layer {
+	return &workload.Layer{
+		Name: "t", C: 16, M: 32, R: 3, S: 3, P: 14, Q: 14,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, N: 1, WordBits: 16,
+	}
+}
+
+// rsMapping builds a row-stationary-style mapping for the test layer.
+func rsMapping() *Mapping {
+	m := New()
+	m.SetFactor(RF, DimR, 3)
+	m.SetFactor(RF, DimS, 3)
+	m.SetFactor(SpatialX, DimQ, 14)
+	m.SetFactor(SpatialY, DimM, 8)
+	m.SetFactor(GLB, DimP, 7)
+	m.SetFactor(GLB, DimC, 4)
+	return m
+}
+
+func TestBounds(t *testing.T) {
+	l := testLayer()
+	if Bound(l, DimC) != 16 || Bound(l, DimM) != 32 || Bound(l, DimP) != 14 || Bound(l, DimR) != 3 {
+		t.Error("bounds wrong")
+	}
+	dw := &workload.Layer{Name: "dw", C: 8, M: 8, R: 3, S: 3, P: 4, Q: 4,
+		StrideH: 1, StrideW: 1, N: 1, WordBits: 16, Depthwise: true}
+	if Bound(dw, DimC) != 1 {
+		t.Error("depthwise C bound should collapse to 1")
+	}
+}
+
+func TestRelevance(t *testing.T) {
+	l := testLayer()
+	// Weight is indexed by M, C, R, S but not P, Q.
+	if !Relevant(l, workload.Weight, DimM) || Relevant(l, workload.Weight, DimP) {
+		t.Error("weight relevance")
+	}
+	// Ifmap: C, P, Q, R, S but not M.
+	if !Relevant(l, workload.Ifmap, DimP) || Relevant(l, workload.Ifmap, DimM) {
+		t.Error("ifmap relevance")
+	}
+	// Ofmap: M, P, Q only.
+	if !Relevant(l, workload.Ofmap, DimM) || Relevant(l, workload.Ofmap, DimC) {
+		t.Error("ofmap relevance")
+	}
+	// Depthwise: the channel loop (M) indexes everything.
+	dw := &workload.Layer{Name: "dw", C: 8, M: 8, R: 3, S: 3, P: 4, Q: 4,
+		StrideH: 1, StrideW: 1, N: 1, WordBits: 16, Depthwise: true}
+	if !Relevant(dw, workload.Ifmap, DimM) || !Relevant(dw, workload.Weight, DimM) {
+		t.Error("depthwise relevance")
+	}
+	if Relevant(dw, workload.Weight, DimC) {
+		t.Error("depthwise weight should not depend on C")
+	}
+}
+
+func TestIsReduction(t *testing.T) {
+	l := testLayer()
+	if !IsReduction(l, DimC) || !IsReduction(l, DimR) || IsReduction(l, DimM) || IsReduction(l, DimP) {
+		t.Error("reduction dims wrong")
+	}
+	dw := &workload.Layer{Depthwise: true}
+	if IsReduction(dw, DimC) {
+		t.Error("depthwise C is not a reduction")
+	}
+}
+
+func TestTileShapes(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	// GLB weight tile: M(8) x C(4) x R(3) x S(3).
+	if got := m.GLBTileElems(l, workload.Weight); got != 8*4*3*3 {
+		t.Errorf("weight tile = %d", got)
+	}
+	// GLB ofmap tile: M(8) x P(7) x Q(14).
+	if got := m.GLBTileElems(l, workload.Ofmap); got != 8*7*14 {
+		t.Errorf("ofmap tile = %d", got)
+	}
+	// GLB ifmap tile: C(4) x H((7-1)*1+3=9) x W((14-1)*1+3=16).
+	if got := m.GLBTileElems(l, workload.Ifmap); got != 4*9*16 {
+		t.Errorf("ifmap tile = %d", got)
+	}
+}
+
+func TestTemporalIterations(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	// Temporal per GLB tile: RF(9) * GLB(7*4); DRAM counts: C:16/4=4,
+	// M:32/8=4, P:14/7=2 -> iterations = 9*28*32 = 8064.
+	if got := m.TemporalIterations(l); got != 9*28*32 {
+		t.Errorf("iterations = %d", got)
+	}
+	// MACs / activePEs must equal iterations when the spatial mapping is
+	// perfect (all factors divide).
+	active := int64(m.ActivePEs())
+	if got := m.TemporalIterations(l) * active; got != l.MACs() {
+		t.Errorf("iterations*active = %d, MACs = %d", got, l.MACs())
+	}
+}
+
+func TestOffchipStationarity(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+
+	// Ofmap-stationary order: reduction (C) innermost -> ofmap written once.
+	m.PermDRAM = []Dim{DimM, DimP, DimQ, DimC, DimR, DimS}
+	off := m.Offchip(l)
+	if off.ReadElems[workload.Ofmap] != 0 {
+		t.Errorf("ofmap re-reads with reduction innermost: %d", off.ReadElems[workload.Ofmap])
+	}
+	wantOfmap := int64(32 * 14 * 14)
+	if off.WriteElems != wantOfmap {
+		t.Errorf("ofmap writes = %d, want %d", off.WriteElems, wantOfmap)
+	}
+	// Weight fetched once per (C, M) tile, revisited for each P tile if P is
+	// outside... here P is outside C, so weights refetch per P? No: order is
+	// M P Q C; the innermost weight-relevant loop is C (last), so weights
+	// are fetched visits(C)=4*2*1*4 = M*P*C times their tile.
+	wantWeight := int64(4*2*4) * int64(8*4*3*3)
+	if off.ReadElems[workload.Weight] != wantWeight {
+		t.Errorf("weight reads = %d, want %d", off.ReadElems[workload.Weight], wantWeight)
+	}
+
+	// Reduction-outermost order: ofmap partial sums spill.
+	m.PermDRAM = []Dim{DimC, DimM, DimP, DimQ, DimR, DimS}
+	off = m.Offchip(l)
+	if off.ReadElems[workload.Ofmap] == 0 {
+		t.Error("expected partial-sum re-reads with C outermost")
+	}
+	// Writes = 4 visits per tile; re-reads = 3 per tile.
+	if off.WriteElems != 4*wantOfmap {
+		t.Errorf("ofmap writes = %d, want %d", off.WriteElems, 4*wantOfmap)
+	}
+	if off.ReadElems[workload.Ofmap] != 3*wantOfmap {
+		t.Errorf("ofmap re-reads = %d, want %d", off.ReadElems[workload.Ofmap], 3*wantOfmap)
+	}
+}
+
+func TestOffchipLowerBound(t *testing.T) {
+	// Any mapping must move at least one tile per distinct region: reads of
+	// weight and ifmap are at least the (clipped) tensor volume when every
+	// element is touched.
+	l := testLayer()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		m := randomMapping(rng, l)
+		off := m.Offchip(l)
+		if off.ReadElems[workload.Weight] < l.Volume(workload.Weight) {
+			t.Fatalf("weight reads %d < volume %d (map %v)", off.ReadElems[workload.Weight], l.Volume(workload.Weight), m)
+		}
+		if off.WriteElems < l.Volume(workload.Ofmap) {
+			t.Fatalf("ofmap writes %d < volume %d", off.WriteElems, l.Volume(workload.Ofmap))
+		}
+	}
+}
+
+func randomMapping(rng *rand.Rand, l *workload.Layer) *Mapping {
+	m := New()
+	m.SetFactor(RF, DimR, 3)
+	m.SetFactor(RF, DimS, 3)
+	pick := func(b int) int {
+		opts := []int{1, 2, 4, 7, b}
+		v := opts[rng.Intn(len(opts))]
+		if v > b {
+			v = b
+		}
+		return v
+	}
+	m.SetFactor(GLB, DimC, pick(l.C))
+	m.SetFactor(GLB, DimM, pick(l.M))
+	m.SetFactor(GLB, DimP, pick(l.P))
+	m.SetFactor(GLB, DimQ, pick(l.Q))
+	perm := append([]Dim(nil), Dims[:]...)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	m.PermDRAM = perm
+	return m
+}
+
+func TestValidateMapping(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	if err := m.Validate(l, 14, 12); err != nil {
+		t.Fatalf("valid mapping rejected: %v", err)
+	}
+	// Exceeding the PE array fails.
+	bad := rsMapping()
+	bad.SetFactor(SpatialY, DimM, 16)
+	if err := bad.Validate(l, 14, 12); err == nil {
+		t.Error("oversized spatial accepted")
+	}
+	// Tiling R at DRAM fails.
+	bad2 := New()
+	bad2.SetFactor(RF, DimR, 1)
+	bad2.SetFactor(GLB, DimS, 3)
+	// R stays 1 per level while bound is 3 -> DRAM-tiled.
+	if err := bad2.Validate(l, 14, 12); err == nil {
+		t.Error("DRAM-tiled R accepted")
+	}
+	// Broken permutation fails.
+	bad3 := rsMapping()
+	bad3.PermDRAM = []Dim{DimC, DimC}
+	if err := bad3.Validate(l, 14, 12); err == nil {
+		t.Error("repeated dim in permutation accepted")
+	}
+}
+
+func TestGLBAccessesMulticast(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	g := m.GLB(l)
+	// Every datatype must be read at least its tensor volume from GLB.
+	if g.ReadElems[workload.Weight] < l.Volume(workload.Weight) {
+		t.Error("weight GLB reads below volume")
+	}
+	if g.WriteElems < l.Volume(workload.Ofmap) {
+		t.Error("ofmap GLB writes below volume")
+	}
+	// Weights are multicast along Q (spatial X, irrelevant to weights): GLB
+	// weight reads must not scale with the 14 Q-columns.
+	perPE := g.ReadElems[workload.Weight]
+	mNoSpatial := rsMapping()
+	mNoSpatial.SetFactor(SpatialX, DimQ, 1)
+	mNoSpatial.SetFactor(GLB, DimQ, 14)
+	g2 := mNoSpatial.GLB(l)
+	if perPE > 2*g2.ReadElems[workload.Weight] {
+		t.Errorf("weight reads scale with multicast width: %d vs %d", perPE, g2.ReadElems[workload.Weight])
+	}
+}
+
+func TestOfmapTilingExtraction(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	ot := m.OfmapDRAMTiling(l)
+	if ot.MTile != 8 || ot.PTile != 7 || ot.QTile != 14 {
+		t.Errorf("ofmap tile %dx%dx%d", ot.MTile, ot.PTile, ot.QTile)
+	}
+	if ot.MCount != 4 || ot.PCount != 2 || ot.QCount != 1 {
+		t.Errorf("ofmap counts %dx%dx%d", ot.MCount, ot.PCount, ot.QCount)
+	}
+	if ot.NumTiles() != 8 || ot.TileElems() != 8*7*14 {
+		t.Error("ofmap tiling totals")
+	}
+}
+
+func TestIfmapTilingExtraction(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	it := m.IfmapDRAMTiling(l)
+	if it.ChTile != 4 || it.HWin != 9 || it.WWin != 16 {
+		t.Errorf("ifmap tiling %d/%d/%d", it.ChTile, it.HWin, it.WWin)
+	}
+	if it.HStep != 7 || it.OffH != -1 {
+		t.Errorf("ifmap step/off %d/%d", it.HStep, it.OffH)
+	}
+	// Halo: window (9) exceeds step (7) by R-stride = 2.
+	if it.HWin-it.HStep != 2 {
+		t.Error("halo extent wrong")
+	}
+	lo, hi := it.TileRowRange(0)
+	if lo != 0 || hi != 8 {
+		t.Errorf("first row range [%d,%d)", lo, hi)
+	}
+	lo, hi = it.TileRowRange(1)
+	if lo != 6 || hi != 14 {
+		t.Errorf("second row range [%d,%d)", lo, hi)
+	}
+}
+
+func TestWeightTilingExtraction(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	wt := m.WeightDRAMTiling(l)
+	if wt.TileElems != 8*4*3*3 {
+		t.Errorf("weight tile elems = %d", wt.TileElems)
+	}
+	if wt.NumTiles != 4*4 {
+		t.Errorf("weight tiles = %d", wt.NumTiles)
+	}
+}
+
+func TestMappingString(t *testing.T) {
+	m := rsMapping()
+	s := m.String()
+	for _, frag := range []string{"GLB[", "spX[Q:14]", "spY[M:8]", "RF[R:3 S:3]"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := rsMapping()
+	c := m.Clone()
+	c.SetFactor(GLB, DimC, 99)
+	c.PermDRAM[0] = DimS
+	if m.Factor(GLB, DimC) == 99 || m.PermDRAM[0] == DimS {
+		t.Error("Clone shares state")
+	}
+}
+
+func TestBufferOccupancy(t *testing.T) {
+	l := testLayer()
+	m := rsMapping()
+	want := 2 * (m.GLBTileElems(l, workload.Weight) +
+		m.GLBTileElems(l, workload.Ifmap) +
+		m.GLBTileElems(l, workload.Ofmap)) * int64(l.WordBits)
+	if got := m.GLBBitsUsed(l); got != want {
+		t.Errorf("GLB bits = %d, want %d", got, want)
+	}
+}

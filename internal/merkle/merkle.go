@@ -1,0 +1,121 @@
+// Package merkle models the off-chip traffic of a general-purpose TEE
+// memory-protection scheme — counter-mode encryption with a Bonsai Merkle
+// tree over the counters (Rogers et al., MICRO'07), the baseline the
+// paper's related work contrasts with tree-less accelerator protection
+// (Section 6, "Tree-less Verification for DNN Accelerators"). SecureLoop's
+// accelerators compute counters from the schedule and never store them, so
+// their integrity metadata is a flat tag per AuthBlock; a general-purpose
+// TEE must instead fetch counters and verify a hash-tree path on every
+// protected cache-line access that misses the on-chip metadata cache.
+//
+// The model is first-order and deliberately favourable to the tree (it
+// assumes perfect caching of all tree levels that fit on chip); it exists
+// to quantify the gap the tree-less design exploits, as an ablation
+// experiment.
+package merkle
+
+import (
+	"fmt"
+	"math"
+)
+
+// TreeConfig parameterises the protection scheme.
+type TreeConfig struct {
+	// BlockBytes is the protected block granularity (typ. a 64 B line).
+	BlockBytes int
+	// CounterBits is the per-block version counter size (64-bit major or
+	// split counters; 64 by default).
+	CounterBits int
+	// Arity is the hash-tree fan-out (counters per tree node, typ. 8).
+	Arity int
+	// NodeBits is the size of one tree node (hash + embedded counters).
+	NodeBits int
+	// CacheBytes is the on-chip metadata cache holding counters and tree
+	// nodes; the top of the tree is pinned there.
+	CacheBytes int
+	// MissRate is the fraction of data accesses whose counter misses the
+	// metadata cache (streaming DNN traffic has near-zero temporal reuse of
+	// counters, so this is high unless the footprint fits on chip).
+	MissRate float64
+}
+
+// DefaultTree returns a Bonsai-style configuration: 64 B blocks, 64-bit
+// counters, arity-8 tree of 64-byte nodes, and a 32 kB metadata cache.
+func DefaultTree() TreeConfig {
+	return TreeConfig{
+		BlockBytes:  64,
+		CounterBits: 64,
+		Arity:       8,
+		NodeBits:    512,
+		CacheBytes:  32 * 1024,
+		MissRate:    0.9,
+	}
+}
+
+// Validate checks the configuration.
+func (c TreeConfig) Validate() error {
+	if c.BlockBytes <= 0 || c.CounterBits <= 0 || c.Arity < 2 || c.NodeBits <= 0 {
+		return fmt.Errorf("merkle: invalid tree configuration %+v", c)
+	}
+	if c.MissRate < 0 || c.MissRate > 1 {
+		return fmt.Errorf("merkle: miss rate %g out of [0,1]", c.MissRate)
+	}
+	return nil
+}
+
+// Levels returns the number of tree levels above the counters for a
+// protected footprint, and how many of the top levels fit in the cache.
+func (c TreeConfig) Levels(footprintBytes int64) (total, cached int) {
+	counters := float64(footprintBytes) / float64(c.BlockBytes)
+	if counters < 1 {
+		counters = 1
+	}
+	total = int(math.Ceil(math.Log(counters) / math.Log(float64(c.Arity))))
+	if total < 1 {
+		total = 1
+	}
+	// Pin levels from the root down while they fit.
+	budget := int64(c.CacheBytes)
+	nodes := int64(1)
+	for cached = 0; cached < total; cached++ {
+		bytes := nodes * int64(c.NodeBits) / 8
+		if bytes > budget {
+			break
+		}
+		budget -= bytes
+		nodes *= int64(c.Arity)
+	}
+	return total, cached
+}
+
+// ExtraTrafficBits returns the metadata traffic (bits) for accessBytes of
+// protected data over a footprint of footprintBytes: per missing counter
+// access, the counter line plus the uncached tree-path nodes travel
+// off-chip. Writes additionally write the updated path back; the model
+// folds that into the same per-access cost with the read/write mix folded
+// into MissRate's calibration.
+func (c TreeConfig) ExtraTrafficBits(accessBytes, footprintBytes int64) int64 {
+	if accessBytes <= 0 {
+		return 0
+	}
+	total, cached := c.Levels(footprintBytes)
+	uncachedLevels := total - cached
+	if uncachedLevels < 0 {
+		uncachedLevels = 0
+	}
+	accesses := float64(accessBytes) / float64(c.BlockBytes)
+	perMiss := float64(c.CounterBits) + float64(uncachedLevels)*float64(c.NodeBits)
+	return int64(accesses * c.MissRate * perMiss)
+}
+
+// TreelessTrafficBits returns the metadata traffic of the accelerator-style
+// tree-less scheme for comparison: one stored tag per AuthBlock of
+// authBlockBytes, fetched alongside each access (counters are computed on
+// chip and never travel).
+func TreelessTrafficBits(accessBytes int64, authBlockBytes int, tagBits int) int64 {
+	if accessBytes <= 0 || authBlockBytes <= 0 {
+		return 0
+	}
+	blocks := (accessBytes + int64(authBlockBytes) - 1) / int64(authBlockBytes)
+	return blocks * int64(tagBits)
+}

@@ -1,0 +1,95 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTreeValid(t *testing.T) {
+	if err := DefaultTree().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []TreeConfig{
+		{BlockBytes: 0, CounterBits: 64, Arity: 8, NodeBits: 512},
+		{BlockBytes: 64, CounterBits: 64, Arity: 1, NodeBits: 512},
+		{BlockBytes: 64, CounterBits: 64, Arity: 8, NodeBits: 512, MissRate: 1.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestLevelsGrowWithFootprint(t *testing.T) {
+	c := DefaultTree()
+	prev := 0
+	for _, fp := range []int64{1 << 12, 1 << 16, 1 << 20, 1 << 24, 1 << 28} {
+		total, cached := c.Levels(fp)
+		if total < prev {
+			t.Errorf("levels shrank at footprint %d", fp)
+		}
+		if cached > total {
+			t.Errorf("cached %d > total %d", cached, total)
+		}
+		prev = total
+	}
+}
+
+func TestExtraTrafficScalesWithAccesses(t *testing.T) {
+	c := DefaultTree()
+	fp := int64(8 << 20)
+	a := c.ExtraTrafficBits(1<<20, fp)
+	b := c.ExtraTrafficBits(2<<20, fp)
+	if b != 2*a {
+		t.Errorf("traffic not linear in accesses: %d vs %d", a, b)
+	}
+	if c.ExtraTrafficBits(0, fp) != 0 {
+		t.Error("zero accesses costs traffic")
+	}
+}
+
+func TestLargerFootprintNeverCheaper(t *testing.T) {
+	c := DefaultTree()
+	f := func(a, b uint32) bool {
+		fa, fb := int64(a)%(1<<28)+1, int64(b)%(1<<28)+1
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		access := int64(1 << 20)
+		return c.ExtraTrafficBits(access, fa) <= c.ExtraTrafficBits(access, fb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTreelessBeatsTreeOnStreaming(t *testing.T) {
+	// The Section 6 argument: for streaming DNN traffic over a multi-MB
+	// footprint, the tree-less per-AuthBlock tag costs far less than a
+	// Merkle walk per miss. Compare 16 MB of accesses over an 8 MB
+	// footprint with 512-element (1 KiB) AuthBlocks.
+	c := DefaultTree()
+	access, fp := int64(16<<20), int64(8<<20)
+	tree := c.ExtraTrafficBits(access, fp)
+	flat := TreelessTrafficBits(access, 1024, 64)
+	if flat*4 > tree {
+		t.Errorf("tree-less (%d bits) not clearly cheaper than tree (%d bits)", flat, tree)
+	}
+}
+
+func TestTreelessEdgeCases(t *testing.T) {
+	if TreelessTrafficBits(0, 64, 64) != 0 {
+		t.Error("zero access")
+	}
+	if TreelessTrafficBits(100, 0, 64) != 0 {
+		t.Error("zero block")
+	}
+	// One partial block still pays one tag.
+	if got := TreelessTrafficBits(1, 1024, 64); got != 64 {
+		t.Errorf("partial block tag = %d", got)
+	}
+}

@@ -1,0 +1,155 @@
+package model
+
+import (
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapping"
+	"secureloop/internal/workload"
+)
+
+func testLayer() *workload.Layer {
+	return &workload.Layer{
+		Name: "t", C: 16, M: 32, R: 3, S: 3, P: 14, Q: 14,
+		StrideH: 1, StrideW: 1, PadH: 1, PadW: 1, N: 1, WordBits: 16,
+	}
+}
+
+func testMapping() *mapping.Mapping {
+	m := mapping.New()
+	m.SetFactor(mapping.RF, mapping.DimR, 3)
+	m.SetFactor(mapping.RF, mapping.DimS, 3)
+	m.SetFactor(mapping.SpatialX, mapping.DimQ, 14)
+	m.SetFactor(mapping.SpatialY, mapping.DimM, 8)
+	m.SetFactor(mapping.GLB, mapping.DimP, 7)
+	m.SetFactor(mapping.GLB, mapping.DimC, 4)
+	m.PermDRAM = []mapping.Dim{mapping.DimM, mapping.DimP, mapping.DimQ, mapping.DimC, mapping.DimR, mapping.DimS}
+	return m
+}
+
+func TestEvaluateUnsecure(t *testing.T) {
+	l, m := testLayer(), testMapping()
+	spec := arch.Base()
+	s := Evaluate(l, &spec, m)
+	if s.CryptoCycles != 0 || s.CryptoEnergyPJ != 0 {
+		t.Error("unsecure evaluation has crypto components")
+	}
+	if s.Cycles < s.ComputeCycles || s.Cycles < s.DRAMCycles {
+		t.Error("latency below component bound")
+	}
+	if s.OffchipBits != s.BaseOffchipBits {
+		t.Error("unsecure off-chip bits include overhead")
+	}
+	if s.EnergyPJ <= 0 || s.Utilization <= 0 || s.Utilization > 1 {
+		t.Errorf("stats out of range: %+v", s)
+	}
+}
+
+func TestEvaluateSecureAddsOverhead(t *testing.T) {
+	l, m := testLayer(), testMapping()
+	spec := arch.Base()
+	cfg := cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1}
+
+	plain := EvaluateSecure(l, &spec, m, cfg, Overhead{})
+	if plain.CryptoCycles == 0 {
+		t.Error("secure evaluation has no crypto cycles")
+	}
+	var ov Overhead
+	ov.HashBits[workload.Ifmap] = 1 << 20
+	ov.RedundantBits[workload.Ifmap] = 1 << 22
+	ov.RehashBits = 1 << 23
+	loaded := EvaluateSecure(l, &spec, m, cfg, ov)
+	if loaded.OffchipBits != plain.OffchipBits+ov.Total() {
+		t.Errorf("overhead bits not added: %d vs %d", loaded.OffchipBits, plain.OffchipBits)
+	}
+	if loaded.CryptoCycles <= plain.CryptoCycles {
+		t.Error("ifmap overhead did not slow the ifmap engine group")
+	}
+	if loaded.EnergyPJ <= plain.EnergyPJ {
+		t.Error("overhead did not cost energy")
+	}
+}
+
+func TestSecureLatencyIsCryptoBoundWithSerialEngine(t *testing.T) {
+	l, m := testLayer(), testMapping()
+	spec := arch.Base()
+	cfg := cryptoengine.Config{Engine: cryptoengine.Serial(), CountPerDatatype: 1}
+	s := EvaluateSecure(l, &spec, m, cfg, Overhead{})
+	if s.Cycles != s.CryptoCycles {
+		t.Errorf("serial engine should bound latency: cycles=%d crypto=%d", s.Cycles, s.CryptoCycles)
+	}
+	if s.Cycles <= s.ComputeCycles {
+		t.Error("serial engine should be slower than compute")
+	}
+}
+
+func TestHigherBandwidthNeverSlower(t *testing.T) {
+	l, m := testLayer(), testMapping()
+	fast := arch.Base().WithDRAM(arch.LPDDR4x128)
+	slow := arch.Base()
+	sFast := Evaluate(l, &fast, m)
+	sSlow := Evaluate(l, &slow, m)
+	if sFast.Cycles > sSlow.Cycles {
+		t.Error("doubling DRAM bandwidth slowed the design")
+	}
+}
+
+func TestHBM2SavesDRAMEnergy(t *testing.T) {
+	// The Section 5.2 claim: HBM2 lowers energy, not latency (same BW).
+	l, m := testLayer(), testMapping()
+	lp := arch.Base()
+	hbm := arch.Base().WithDRAM(arch.HBM2x64)
+	sLP := Evaluate(l, &lp, m)
+	sHBM := Evaluate(l, &hbm, m)
+	if sHBM.Cycles != sLP.Cycles {
+		t.Error("HBM2 at equal bandwidth changed latency")
+	}
+	if sHBM.DRAMEnergyPJ >= sLP.DRAMEnergyPJ {
+		t.Error("HBM2 did not save DRAM energy")
+	}
+}
+
+func TestOverheadAccounting(t *testing.T) {
+	var ov Overhead
+	ov.HashBits[workload.Weight] = 10
+	ov.RedundantBits[workload.Ifmap] = 20
+	ov.RehashBits = 30
+	if ov.Total() != 60 {
+		t.Errorf("Total = %d", ov.Total())
+	}
+	if ov.DatatypeExtraBits(workload.Weight) != 10 {
+		t.Error("weight extra")
+	}
+	if ov.DatatypeExtraBits(workload.Ifmap) != 50 {
+		t.Error("ifmap extra should include rehash")
+	}
+	if ov.DatatypeExtraBits(workload.Ofmap) != 0 {
+		t.Error("ofmap extra")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Cycles: 10, EnergyPJ: 5, OffchipBits: 100, ComputeCycles: 3}
+	b := Stats{Cycles: 20, EnergyPJ: 7, OffchipBits: 50, ComputeCycles: 9}
+	a.Add(b)
+	if a.Cycles != 30 || a.EnergyPJ != 12 || a.OffchipBits != 150 || a.ComputeCycles != 12 {
+		t.Errorf("Add: %+v", a)
+	}
+	if a.EDP() != 12*30 {
+		t.Errorf("EDP = %g", a.EDP())
+	}
+}
+
+func TestSchedulingCyclesBandwidthSensitivity(t *testing.T) {
+	l, m := testLayer(), testMapping()
+	full := SchedulingCycles(l, m, 64)
+	tiny := SchedulingCycles(l, m, 0.5)
+	if tiny <= full {
+		t.Error("restricting effective bandwidth must increase scheduling cost")
+	}
+	// At generous bandwidth the cost is compute-bound.
+	if full != m.TemporalIterations(l) {
+		t.Errorf("expected compute-bound: %d vs %d", full, m.TemporalIterations(l))
+	}
+}

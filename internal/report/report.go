@@ -1,0 +1,107 @@
+// Package report renders scheduling results as human-readable tables and
+// CSV, mirroring the per-design stats files the original artifact emits.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"secureloop/internal/core"
+)
+
+// Summary writes the network-level result: totals, bottleneck breakdown and
+// authentication traffic.
+func Summary(w io.Writer, res *core.NetworkResult, clockHz float64) {
+	t := res.Total
+	fmt.Fprintf(w, "workload:   %s\n", res.Network.Name)
+	fmt.Fprintf(w, "algorithm:  %s\n", res.Algorithm)
+	fmt.Fprintf(w, "layers:     %d (%d segments)\n", res.Network.NumLayers(), len(res.Network.Segments))
+	fmt.Fprintf(w, "latency:    %d cycles (%.3f ms @ %.0f MHz)\n",
+		t.Cycles, float64(t.Cycles)/clockHz*1e3, clockHz/1e6)
+	fmt.Fprintf(w, "  compute:  %d cycles\n", t.ComputeCycles)
+	fmt.Fprintf(w, "  dram:     %d cycles\n", t.DRAMCycles)
+	if t.CryptoCycles > 0 {
+		fmt.Fprintf(w, "  crypto:   %d cycles\n", t.CryptoCycles)
+	}
+	fmt.Fprintf(w, "energy:     %.3f uJ (dram %.3f, crypto %.3f, on-chip %.3f)\n",
+		t.EnergyPJ/1e6, t.DRAMEnergyPJ/1e6, t.CryptoEnergyPJ/1e6, t.OnChipEnergyPJ/1e6)
+	fmt.Fprintf(w, "EDP:        %.4g pJ*cycles\n", t.EDP())
+	fmt.Fprintf(w, "off-chip:   %.4g Mbit (%.4g Mbit data)\n",
+		float64(t.OffchipBits)/1e6, float64(t.BaseOffchipBits)/1e6)
+	if res.Algorithm != core.Unsecure {
+		tr := res.Traffic
+		fmt.Fprintf(w, "auth traffic: %.4g Mbit (hash %.4g, redundant %.4g, rehash %.4g)\n",
+			float64(tr.Total())/1e6, float64(tr.HashBits)/1e6,
+			float64(tr.RedundantBits)/1e6, float64(tr.RehashBits)/1e6)
+	}
+}
+
+// layerColumns builds the per-layer table cells.
+func layerColumns(res *core.NetworkResult) (header []string, rows [][]string) {
+	header = []string{"layer", "cycles", "compute", "dram", "crypto",
+		"util", "offchip_bits", "auth_bits", "authblock", "mapping"}
+	for _, lr := range res.Layers {
+		l := res.Network.Layer(lr.Index)
+		assign := "-"
+		if lr.OfmapAssignment.U > 0 {
+			assign = fmt.Sprintf("%s/u=%d", lr.OfmapAssignment.Orientation, lr.OfmapAssignment.U)
+		}
+		rows = append(rows, []string{
+			l.Name,
+			fmt.Sprintf("%d", lr.Stats.Cycles),
+			fmt.Sprintf("%d", lr.Stats.ComputeCycles),
+			fmt.Sprintf("%d", lr.Stats.DRAMCycles),
+			fmt.Sprintf("%d", lr.Stats.CryptoCycles),
+			fmt.Sprintf("%.2f", lr.Stats.Utilization),
+			fmt.Sprintf("%d", lr.Stats.OffchipBits),
+			fmt.Sprintf("%d", lr.Overhead.Total()),
+			assign,
+			lr.Mapping.String(),
+		})
+	}
+	return header, rows
+}
+
+// Layers writes a per-layer aligned table.
+func Layers(w io.Writer, res *core.NetworkResult) {
+	header, rows := layerColumns(res)
+	// Skip the verbose mapping column in the aligned view.
+	header = header[:len(header)-1]
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i := range header {
+			if len(r[i]) > widths[i] {
+				widths[i] = len(r[i])
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i := range header {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cells[i])
+		}
+		fmt.Fprintln(w)
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// CSV writes the per-layer results as comma-separated values including the
+// full loopnest description.
+func CSV(w io.Writer, res *core.NetworkResult) {
+	header, rows := layerColumns(res)
+	fmt.Fprintln(w, strings.Join(header, ","))
+	for _, r := range rows {
+		// The mapping string contains spaces but no commas; quote it anyway.
+		r[len(r)-1] = `"` + r[len(r)-1] + `"`
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/workload"
+)
+
+func schedule(t *testing.T, alg core.Algorithm) (*core.NetworkResult, float64) {
+	t.Helper()
+	spec := arch.Base()
+	s := core.New(spec, cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1})
+	s.Anneal.Iterations = 30
+	res, err := s.ScheduleNetwork(workload.AlexNet(), alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, spec.ClockHz
+}
+
+func TestSummaryContents(t *testing.T) {
+	res, clock := schedule(t, core.CryptOptSingle)
+	var b strings.Builder
+	Summary(&b, res, clock)
+	out := b.String()
+	for _, frag := range []string{"AlexNet", "Crypt-Opt-Single", "latency:", "energy:", "auth traffic:", "EDP:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestSummaryUnsecureOmitsAuth(t *testing.T) {
+	res, clock := schedule(t, core.Unsecure)
+	var b strings.Builder
+	Summary(&b, res, clock)
+	if strings.Contains(b.String(), "auth traffic") {
+		t.Error("unsecure summary mentions auth traffic")
+	}
+}
+
+func TestLayersTable(t *testing.T) {
+	res, _ := schedule(t, core.CryptOptSingle)
+	var b strings.Builder
+	Layers(&b, res)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+res.Network.NumLayers() {
+		t.Fatalf("%d lines, want header + %d layers", len(lines), res.Network.NumLayers())
+	}
+	if !strings.Contains(lines[1], "conv1") {
+		t.Error("first row should be conv1")
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	res, _ := schedule(t, core.CryptOptSingle)
+	var b strings.Builder
+	CSV(&b, res)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 1+res.Network.NumLayers() {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	cols := len(strings.Split(lines[0], ","))
+	for i, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != cols {
+			t.Errorf("row %d has %d columns, want %d", i, got, cols)
+		}
+	}
+	if !strings.Contains(lines[1], `"`) {
+		t.Error("mapping column not quoted")
+	}
+}

@@ -1,0 +1,98 @@
+// Package roofline implements the roofline model of Figure 12: attainable
+// performance as a function of operational intensity, bounded by the
+// compute roof (PE count x clock), the off-chip memory roof, and — for
+// secure accelerators — the effective crypto-engine roof that throttles
+// off-chip data supply (Section 5.1, "Roofline Model").
+package roofline
+
+import (
+	"secureloop/internal/arch"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/model"
+)
+
+// Model carries the three roofs in operations/sec and bytes/sec.
+type Model struct {
+	// PeakOpsPerSec is the compute roof (one MAC per PE per cycle).
+	PeakOpsPerSec float64
+	// MemBytesPerSec is the DRAM bandwidth roof.
+	MemBytesPerSec float64
+	// CryptoBytesPerSec is the effective crypto roof (0 when the design has
+	// no cryptographic engines). Figure 12 draws this for a single engine
+	// handling every transfer; per-datatype engine groups can do better.
+	CryptoBytesPerSec float64
+}
+
+// FromArch builds the unsecure roofline of an architecture.
+func FromArch(spec *arch.Spec) Model {
+	return Model{
+		PeakOpsPerSec:  spec.PeakMACsPerCycle() * spec.ClockHz,
+		MemBytesPerSec: float64(spec.DRAM.BytesPerCycle) * spec.ClockHz,
+	}
+}
+
+// FromSecureArch builds the roofline of a secure design: the crypto roof is
+// the aggregate engine throughput.
+func FromSecureArch(spec *arch.Spec, cfg cryptoengine.Config) Model {
+	m := FromArch(spec)
+	m.CryptoBytesPerSec = cfg.TotalBytesPerCycle() * spec.ClockHz
+	return m
+}
+
+// Attainable returns the roofline-bounded performance (ops/sec) at the
+// given operational intensity (ops per off-chip byte). The binding roof is
+// the minimum of the compute roof and the bandwidth-limited slopes.
+func (m Model) Attainable(intensity float64) float64 {
+	perf := m.PeakOpsPerSec
+	if mem := intensity * m.MemBytesPerSec; mem < perf {
+		perf = mem
+	}
+	if m.CryptoBytesPerSec > 0 {
+		if c := intensity * m.CryptoBytesPerSec; c < perf {
+			perf = c
+		}
+	}
+	return perf
+}
+
+// RidgeIntensity returns the operational intensity at which the design
+// transitions from bandwidth-bound to compute-bound (using the tightest
+// bandwidth roof).
+func (m Model) RidgeIntensity() float64 {
+	bw := m.MemBytesPerSec
+	if m.CryptoBytesPerSec > 0 && m.CryptoBytesPerSec < bw {
+		bw = m.CryptoBytesPerSec
+	}
+	if bw <= 0 {
+		return 0
+	}
+	return m.PeakOpsPerSec / bw
+}
+
+// Point is one workload/schedule placed on the roofline.
+type Point struct {
+	// Name labels the point (workload + scheduler).
+	Name string
+	// Intensity is MACs per off-chip byte (including authentication
+	// overhead traffic — extra traffic moves secure points left).
+	Intensity float64
+	// OpsPerSec is the achieved performance.
+	OpsPerSec float64
+}
+
+// PointFor places a scheduled network on the roofline: intensity from total
+// MACs over total off-chip bytes, performance from total MACs over wall
+// time at the architecture clock.
+func PointFor(name string, totalMACs int64, stats model.Stats, clockHz float64) Point {
+	bytes := float64(stats.OffchipBits) / 8
+	seconds := float64(stats.Cycles) / clockHz
+	var p Point
+	p.Name = name
+	if bytes > 0 {
+		p.Intensity = float64(totalMACs) / bytes
+	}
+	if seconds > 0 {
+		p.OpsPerSec = float64(totalMACs) / seconds
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/model"
+)
+
+func TestRoofsFromBaseArch(t *testing.T) {
+	spec := arch.Base()
+	m := FromArch(&spec)
+	if m.PeakOpsPerSec != 168*100e6 {
+		t.Errorf("peak = %g", m.PeakOpsPerSec)
+	}
+	if m.MemBytesPerSec != 64*100e6 {
+		t.Errorf("mem roof = %g", m.MemBytesPerSec)
+	}
+	if m.CryptoBytesPerSec != 0 {
+		t.Error("unsecure model has a crypto roof")
+	}
+}
+
+func TestCryptoRoofThrottles(t *testing.T) {
+	spec := arch.Base()
+	cfg := cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1}
+	sec := FromSecureArch(&spec, cfg)
+	uns := FromArch(&spec)
+	// In the bandwidth-bound region the secure roof must sit below.
+	for _, intensity := range []float64{0.5, 1, 2, 5, 10} {
+		if sec.Attainable(intensity) >= uns.Attainable(intensity) {
+			t.Errorf("intensity %g: secure %g >= unsecure %g",
+				intensity, sec.Attainable(intensity), uns.Attainable(intensity))
+		}
+	}
+	// At very high intensity both reach the compute roof.
+	if sec.Attainable(1e6) != sec.PeakOpsPerSec {
+		t.Error("compute roof not reached")
+	}
+}
+
+func TestRidgeIntensity(t *testing.T) {
+	spec := arch.Base()
+	uns := FromArch(&spec)
+	// Unsecure ridge: 168 MACs/cycle over 64 B/cycle = 2.625 ops/byte.
+	if got := uns.RidgeIntensity(); math.Abs(got-2.625) > 1e-9 {
+		t.Errorf("unsecure ridge = %g", got)
+	}
+	cfg := cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1}
+	sec := FromSecureArch(&spec, cfg)
+	// The crypto roof moves the ridge right (more intensity needed).
+	if sec.RidgeIntensity() <= uns.RidgeIntensity() {
+		t.Error("crypto roof did not move the ridge right")
+	}
+	// At the ridge the two roofs intersect.
+	r := sec.RidgeIntensity()
+	if math.Abs(sec.Attainable(r)-sec.PeakOpsPerSec) > 1 {
+		t.Errorf("attainable at ridge %g != peak %g", sec.Attainable(r), sec.PeakOpsPerSec)
+	}
+}
+
+func TestAttainableMonotone(t *testing.T) {
+	spec := arch.Base()
+	m := FromSecureArch(&spec, cryptoengine.Config{Engine: cryptoengine.Serial(), CountPerDatatype: 1})
+	prev := 0.0
+	for i := 1; i <= 1000; i++ {
+		v := m.Attainable(float64(i) * 0.5)
+		if v < prev {
+			t.Fatalf("attainable not monotone at %g", float64(i)*0.5)
+		}
+		prev = v
+	}
+}
+
+func TestPointFor(t *testing.T) {
+	stats := model.Stats{Cycles: 1000, OffchipBits: 8000 * 8}
+	p := PointFor("w", 100000, stats, 100e6)
+	if math.Abs(p.Intensity-100000.0/8000) > 1e-9 {
+		t.Errorf("intensity = %g", p.Intensity)
+	}
+	// 100000 ops in 10us = 1e10 ops/sec.
+	if math.Abs(p.OpsPerSec-1e10) > 1 {
+		t.Errorf("ops/sec = %g", p.OpsPerSec)
+	}
+	// Degenerate inputs produce zeros, not NaNs.
+	z := PointFor("z", 0, model.Stats{}, 100e6)
+	if z.Intensity != 0 || z.OpsPerSec != 0 {
+		t.Errorf("degenerate point %+v", z)
+	}
+}

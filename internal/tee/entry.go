@@ -1,0 +1,75 @@
+// Package tee models the end-to-end cost of entering and exiting a trusted
+// execution environment on the accelerator, per the paper's Section 5.2
+// "Impact of TEE Entry/Exit": the dominant entry cost is the initial
+// transfer of the (encrypted) DNN weights from the host into the
+// accelerator context, which depends on the model size and the host link —
+// not on the accelerator architecture — and amortises away when the same
+// model serves many inference requests.
+package tee
+
+import (
+	"fmt"
+
+	"secureloop/internal/workload"
+)
+
+// EntryConfig parameterises the entry/exit model.
+type EntryConfig struct {
+	// HostLinkBytesPerSec is the host-to-accelerator transfer bandwidth
+	// (PCIe-class by default).
+	HostLinkBytesPerSec float64
+	// AttestationSeconds is the fixed handshake/attestation latency.
+	AttestationSeconds float64
+	// ExitSeconds is the fixed teardown latency.
+	ExitSeconds float64
+}
+
+// Default returns a PCIe 3.0 x4-class link (~4 GB/s) with millisecond-scale
+// handshakes.
+func Default() EntryConfig {
+	return EntryConfig{
+		HostLinkBytesPerSec: 4e9,
+		AttestationSeconds:  1e-3,
+		ExitSeconds:         0.2e-3,
+	}
+}
+
+// Validate checks the configuration.
+func (c EntryConfig) Validate() error {
+	if c.HostLinkBytesPerSec <= 0 {
+		return fmt.Errorf("tee: host link bandwidth must be positive")
+	}
+	if c.AttestationSeconds < 0 || c.ExitSeconds < 0 {
+		return fmt.Errorf("tee: latencies must be non-negative")
+	}
+	return nil
+}
+
+// WeightBytes returns the total parameter footprint of a network.
+func WeightBytes(net *workload.Network) int64 {
+	var bits int64
+	for i := range net.Layers {
+		bits += net.Layers[i].VolumeBits(workload.Weight)
+	}
+	return bits / 8
+}
+
+// EntrySeconds returns the one-time TEE entry latency for a network: the
+// weight transfer plus attestation.
+func (c EntryConfig) EntrySeconds(net *workload.Network) float64 {
+	return float64(WeightBytes(net))/c.HostLinkBytesPerSec + c.AttestationSeconds
+}
+
+// AmortizedOverheadPct returns the end-to-end overhead of entry/exit as a
+// percentage of total service time when the entered context serves
+// `inferences` requests each taking inferenceSeconds: the paper's argument
+// that entry cost "can be negligible compared to the overall execution
+// time" once requests are batched.
+func (c EntryConfig) AmortizedOverheadPct(net *workload.Network, inferenceSeconds float64, inferences int) float64 {
+	if inferences <= 0 || inferenceSeconds <= 0 {
+		return 0
+	}
+	fixed := c.EntrySeconds(net) + c.ExitSeconds
+	work := inferenceSeconds * float64(inferences)
+	return 100 * fixed / (fixed + work)
+}

@@ -1,0 +1,128 @@
+package tee
+
+import (
+	"testing"
+
+	"secureloop/internal/workload"
+)
+
+func TestWeightBytes(t *testing.T) {
+	net := workload.AlexNet()
+	var want int64
+	for i := range net.Layers {
+		want += net.Layers[i].VolumeBits(workload.Weight) / 8
+	}
+	got := WeightBytes(net)
+	// Allow the per-layer rounding difference.
+	if got < want || got > want+int64(net.NumLayers()) {
+		t.Errorf("WeightBytes = %d, want ~%d", got, want)
+	}
+}
+
+func TestEntryDominatedByWeights(t *testing.T) {
+	// ResNet18 (11.7M params @16b = ~23 MB) over 4 GB/s: ~5.8 ms, far above
+	// the 1 ms attestation.
+	c := Default()
+	net := workload.ResNet18()
+	entry := c.EntrySeconds(net)
+	transfer := float64(WeightBytes(net)) / c.HostLinkBytesPerSec
+	if entry <= transfer {
+		t.Error("entry must include attestation")
+	}
+	if transfer < 2*c.AttestationSeconds {
+		t.Errorf("transfer %g s should dominate attestation for ResNet18", transfer)
+	}
+}
+
+func TestAmortization(t *testing.T) {
+	c := Default()
+	net := workload.MobileNetV2()
+	one := c.AmortizedOverheadPct(net, 20e-3, 1)
+	many := c.AmortizedOverheadPct(net, 20e-3, 1000)
+	if many >= one {
+		t.Errorf("amortization failed: %g%% >= %g%%", many, one)
+	}
+	// The paper's conclusion: with sustained service the entry cost is
+	// negligible (<1%).
+	if many > 1 {
+		t.Errorf("amortized overhead %g%% not negligible", many)
+	}
+	if got := c.AmortizedOverheadPct(net, 0, 10); got != 0 {
+		t.Errorf("degenerate inference time: %g", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.HostLinkBytesPerSec = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero link accepted")
+	}
+	bad = Default()
+	bad.AttestationSeconds = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative attestation accepted")
+	}
+}
+
+func TestEntrySimilarAcrossArchitectures(t *testing.T) {
+	// Section 5.2: "this transfer latency might not vary significantly
+	// across different accelerator architecture" — our model depends only
+	// on the network and the host link, by construction. Assert the two
+	// drivers behave as expected: bigger models take longer.
+	c := Default()
+	alex := c.EntrySeconds(workload.AlexNet())
+	resnet := c.EntrySeconds(workload.ResNet18())
+	mobil := c.EntrySeconds(workload.MobileNetV2())
+	if resnet <= mobil {
+		t.Error("ResNet18 (11.7M params) should enter slower than MobileNetV2 (3.5M)")
+	}
+	if alex <= mobil {
+		t.Error("AlexNet conv layers (3.7M params) should enter slower than MobileNetV2")
+	}
+}
+
+func TestRekeyModel(t *testing.T) {
+	c := RekeyConfig{CounterBits: 32, WritesPerInference: 1}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.InferencesPerRekey(); got != 1<<32 {
+		t.Errorf("InferencesPerRekey = %d", got)
+	}
+	// More writes per inference exhaust counters sooner.
+	c4 := RekeyConfig{CounterBits: 32, WritesPerInference: 4}
+	if c4.InferencesPerRekey() != (1<<32)/4 {
+		t.Error("writes scaling")
+	}
+	// A 32-bit counter with 1 write/inference and 20 ms inferences re-keys
+	// roughly every 2.7 years of sustained service: overhead negligible.
+	if pct := c.RekeyOverheadPct(0.1, 20e-3); pct > 1e-6 {
+		t.Errorf("rekey overhead %g%% not negligible", pct)
+	}
+	// Tiny counters are the failure mode the model exposes.
+	tiny := RekeyConfig{CounterBits: 8, WritesPerInference: 4}
+	if pct := tiny.RekeyOverheadPct(0.1, 20e-3); pct < 1 {
+		t.Errorf("8-bit counters should hurt: %g%%", pct)
+	}
+	if err := (RekeyConfig{CounterBits: 0, WritesPerInference: 1}).Validate(); err == nil {
+		t.Error("zero-width counter accepted")
+	}
+	if err := (RekeyConfig{CounterBits: 32, WritesPerInference: 0}).Validate(); err == nil {
+		t.Error("zero writes accepted")
+	}
+	if WritesPerInferenceFor(workload.AlexNet(), 0) != 1 {
+		t.Error("writes floor")
+	}
+	if WritesPerInferenceFor(workload.AlexNet(), 3) != 3 {
+		t.Error("writes passthrough")
+	}
+	// 63+-bit counters saturate rather than overflow.
+	big := RekeyConfig{CounterBits: 64, WritesPerInference: 1}
+	if big.InferencesPerRekey() <= 0 {
+		t.Error("64-bit counter overflowed the model")
+	}
+}

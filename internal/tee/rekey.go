@@ -1,0 +1,71 @@
+package tee
+
+import (
+	"fmt"
+
+	"secureloop/internal/workload"
+)
+
+// Counter exhaustion: every off-chip block write increments its version
+// counter, and the AES-GCM seed construction (counter, address, IV) must
+// never repeat under one key. When a counter would wrap, the context must
+// re-key — re-encrypting the live working set under a fresh key. This file
+// models how often that happens for a scheduled workload, completing the
+// security-lifetime picture the paper's tree-less counter scheme implies.
+
+// RekeyConfig parameterises the analysis.
+type RekeyConfig struct {
+	// CounterBits is the per-block version counter width in the seed.
+	CounterBits int
+	// WritesPerInference is the number of counter increments one inference
+	// performs on the hottest block (at most one per ofmap tile write per
+	// layer for feature-map blocks; weights are written once at entry).
+	WritesPerInference int64
+}
+
+// Validate checks the configuration.
+func (c RekeyConfig) Validate() error {
+	if c.CounterBits <= 0 || c.CounterBits > 64 {
+		return fmt.Errorf("tee: counter width %d out of (0,64]", c.CounterBits)
+	}
+	if c.WritesPerInference < 1 {
+		return fmt.Errorf("tee: writes per inference must be >= 1")
+	}
+	return nil
+}
+
+// InferencesPerRekey returns how many inferences a context can serve before
+// any block's counter wraps and a re-key is forced.
+func (c RekeyConfig) InferencesPerRekey() int64 {
+	max := int64(1) << uint(c.CounterBits)
+	if c.CounterBits >= 63 {
+		max = 1<<63 - 1
+	}
+	return max / c.WritesPerInference
+}
+
+// WritesPerInferenceFor estimates the per-inference counter pressure of a
+// network: the maximum number of times any single tensor region is written
+// per inference. With no partial-sum spilling this is 1 (each ofmap region
+// written once); spilling mappings can raise it, so callers pass the
+// maximum WritesPerTile their schedule produced.
+func WritesPerInferenceFor(net *workload.Network, maxWritesPerTile int64) int64 {
+	if maxWritesPerTile < 1 {
+		maxWritesPerTile = 1
+	}
+	_ = net // the bound is per-region, not per-network-size
+	return maxWritesPerTile
+}
+
+// RekeyOverheadPct returns the throughput overhead of periodic re-keying:
+// each re-key re-encrypts the live footprint (weights + largest feature
+// map), costing rekeySeconds, amortised over InferencesPerRekey inferences
+// of inferenceSeconds each.
+func (c RekeyConfig) RekeyOverheadPct(rekeySeconds, inferenceSeconds float64) float64 {
+	n := c.InferencesPerRekey()
+	if n <= 0 || inferenceSeconds <= 0 {
+		return 100
+	}
+	work := inferenceSeconds * float64(n)
+	return 100 * rekeySeconds / (rekeySeconds + work)
+}

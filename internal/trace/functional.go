@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"fmt"
+
+	"secureloop/internal/aesgcm"
+	"secureloop/internal/authblock"
+)
+
+// SecureTensor is a functional simulation of a tensor stored in untrusted
+// off-chip DRAM under an AuthBlock regime: every block is AES-GCM
+// encrypted and tagged with a seed built from its version counter and
+// address, exactly as the paper's Figure 2 engine interface prescribes.
+// The producer writes tiles; the consumer reads arbitrary regions, fetching
+// (and verifying) every AuthBlock it touches. Traffic counters record what
+// crossed the simulated chip boundary so the analytic model can be checked
+// against an actually-working secure data path.
+type SecureTensor struct {
+	grid   authblock.ProducerGrid
+	orient authblock.Orientation
+	u      int
+	tag    int // tag bytes stored per block
+
+	gcm *aesgcm.GCM
+	iv  uint32
+
+	// sealed holds ciphertext||tag per global block address; counters holds
+	// each block's version.
+	sealed   map[uint32][]byte
+	counters map[uint32]uint32
+
+	// Traffic counters (elements / tags that crossed off-chip).
+	DataWriteElems int64
+	TagWrites      int64
+	DataReadElems  int64
+	TagReads       int64
+	RedundantElems int64
+}
+
+// NewSecureTensor builds a secure tensor under the given assignment.
+func NewSecureTensor(grid authblock.ProducerGrid, a authblock.Assignment, key []byte, tagBytes int) (*SecureTensor, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if a.U < 1 {
+		return nil, fmt.Errorf("trace: block size %d", a.U)
+	}
+	c, err := aesgcm.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return &SecureTensor{
+		grid: grid, orient: a.Orientation, u: a.U, tag: tagBytes,
+		gcm:      aesgcm.NewGCM(c),
+		iv:       0x5ec10011,
+		sealed:   map[uint32][]byte{},
+		counters: map[uint32]uint32{},
+	}, nil
+}
+
+// tileOf returns the tile index triple containing tensor coordinate
+// (ch, row, col) and the tile's clipped dims and origin.
+func (s *SecureTensor) tileInfo(ti, tj, tk int) (origin [3]int, dims [3]int) {
+	origin = [3]int{ti * s.grid.TileC, tj * s.grid.TileH, tk * s.grid.TileW}
+	dims = [3]int{
+		min(s.grid.TileC, s.grid.C-origin[0]),
+		min(s.grid.TileH, s.grid.H-origin[1]),
+		min(s.grid.TileW, s.grid.W-origin[2]),
+	}
+	return origin, dims
+}
+
+// flatten maps tile-local (c, r, w) to the flat index under the tensor's
+// orientation.
+func flatten(dims [3]int, c, r, w int, o authblock.Orientation) int64 {
+	switch o {
+	case authblock.AlongQ:
+		return (int64(c)*int64(dims[1])+int64(r))*int64(dims[2]) + int64(w)
+	case authblock.AlongP:
+		return (int64(c)*int64(dims[2])+int64(w))*int64(dims[1]) + int64(r)
+	case authblock.AlongC:
+		return (int64(r)*int64(dims[2])+int64(w))*int64(dims[0]) + int64(c)
+	}
+	panic("trace: bad orientation")
+}
+
+// unflatten is the inverse of flatten.
+func unflatten(dims [3]int, flat int64, o authblock.Orientation) (c, r, w int) {
+	var d1, d2 int64
+	switch o {
+	case authblock.AlongQ:
+		d1, d2 = int64(dims[1]), int64(dims[2])
+		c = int(flat / (d1 * d2))
+		r = int(flat / d2 % d1)
+		w = int(flat % d2)
+	case authblock.AlongP:
+		d1, d2 = int64(dims[2]), int64(dims[1])
+		c = int(flat / (d1 * d2))
+		w = int(flat / d2 % d1)
+		r = int(flat % d2)
+	case authblock.AlongC:
+		d1, d2 = int64(dims[2]), int64(dims[0])
+		r = int(flat / (d1 * d2))
+		w = int(flat / d2 % d1)
+		c = int(flat % d2)
+	}
+	return c, r, w
+}
+
+// blockAddr builds the unique off-chip address of block k of tile
+// (ti, tj, tk).
+func (s *SecureTensor) blockAddr(ti, tj, tk int, k int64) uint32 {
+	nc, nh, nw := s.grid.Counts()
+	_ = nc
+	tile := uint32((ti*nh+tj)*nw + tk)
+	return tile<<16 | uint32(k)&0xffff
+}
+
+// WriteTile encrypts and stores one producer tile. data is tile-local,
+// laid out channel-major (c, r, w), and must have exactly the clipped tile
+// volume.
+func (s *SecureTensor) WriteTile(ti, tj, tk int, data []byte) error {
+	_, dims := s.tileInfo(ti, tj, tk)
+	flat := int64(dims[0]) * int64(dims[1]) * int64(dims[2])
+	if int64(len(data)) != flat {
+		return fmt.Errorf("trace: tile data %d bytes, want %d", len(data), flat)
+	}
+	// Reorder into flattened orientation.
+	buf := make([]byte, flat)
+	for c := 0; c < dims[0]; c++ {
+		for r := 0; r < dims[1]; r++ {
+			for w := 0; w < dims[2]; w++ {
+				buf[flatten(dims, c, r, w, s.orient)] = data[(c*dims[1]+r)*dims[2]+w]
+			}
+		}
+	}
+	nBlocks := (flat + int64(s.u) - 1) / int64(s.u)
+	for k := int64(0); k < nBlocks; k++ {
+		lo := k * int64(s.u)
+		hi := min64(lo+int64(s.u), flat)
+		addr := s.blockAddr(ti, tj, tk, k)
+		s.counters[addr]++
+		seed := aesgcm.Seed(s.counters[addr], addr, s.iv)
+		sealed, err := s.gcm.Seal(buf[lo:hi], seed[:], nil, s.tag)
+		if err != nil {
+			return err
+		}
+		s.sealed[addr] = sealed
+		s.DataWriteElems += hi - lo
+		s.TagWrites++
+	}
+	return nil
+}
+
+// ReadRegion fetches the clipped tensor region [c0,c1)x[r0,r1)x[w0,w1),
+// fetching and authenticating every AuthBlock it touches, and returns the
+// region channel-major. Every fetched element beyond the region counts as
+// redundant traffic. Tag verification failure aborts the read.
+func (s *SecureTensor) ReadRegion(c0, c1, r0, r1, w0, w1 int) ([]byte, error) {
+	if c0 < 0 || r0 < 0 || w0 < 0 || c1 > s.grid.C || r1 > s.grid.H || w1 > s.grid.W ||
+		c0 >= c1 || r0 >= r1 || w0 >= w1 {
+		return nil, fmt.Errorf("trace: bad region [%d,%d)x[%d,%d)x[%d,%d)", c0, c1, r0, r1, w0, w1)
+	}
+	out := make([]byte, (c1-c0)*(r1-r0)*(w1-w0))
+	needed := int64(len(out))
+	var fetched int64
+	var readErr error
+
+	// Enumerate overlapped producer tiles.
+	forOverlaps(c0, c1, s.grid.C, s.grid.TileC, func(ct0, ctd, lc0, lc1 int) {
+		forOverlaps(r0, r1, s.grid.H, s.grid.TileH, func(rt0, rtd, lr0, lr1 int) {
+			forOverlaps(w0, w1, s.grid.W, s.grid.TileW, func(wt0, wtd, lw0, lw1 int) {
+				dims := [3]int{ctd, rtd, wtd}
+				ti, tj, tk := ct0/s.grid.TileC, rt0/s.grid.TileH, wt0/s.grid.TileW
+				// Mark blocks touched by the local box.
+				blocks := map[int64]bool{}
+				for c := lc0; c < lc1; c++ {
+					for r := lr0; r < lr1; r++ {
+						for w := lw0; w < lw1; w++ {
+							blocks[flatten(dims, c, r, w, s.orient)/int64(s.u)] = true
+						}
+					}
+				}
+				for k := range blocks {
+					addr := s.blockAddr(ti, tj, tk, k)
+					sealed, ok := s.sealed[addr]
+					if !ok {
+						continue
+					}
+					seed := aesgcm.Seed(s.counters[addr], addr, s.iv)
+					pt, err := s.gcm.Open(sealed, seed[:], nil, s.tag)
+					if err != nil {
+						if readErr == nil {
+							readErr = fmt.Errorf("trace: authentication failed for block %#x: %w", addr, err)
+						}
+						continue
+					}
+					s.TagReads++
+					fetched += int64(len(pt))
+					// Scatter needed elements into the output.
+					base := k * int64(s.u)
+					for off := range pt {
+						c, r, w := unflatten(dims, base+int64(off), s.orient)
+						gc, gr, gw := ct0+c, rt0+r, wt0+w
+						if gc >= c0 && gc < c1 && gr >= r0 && gr < r1 && gw >= w0 && gw < w1 {
+							out[((gc-c0)*(r1-r0)+(gr-r0))*(w1-w0)+(gw-w0)] = pt[off]
+						}
+					}
+				}
+			})
+		})
+	})
+	if readErr != nil {
+		return nil, readErr
+	}
+	s.DataReadElems += fetched
+	s.RedundantElems += fetched - needed
+	return out, nil
+}
+
+// Tamper flips one bit of the stored ciphertext of some block, modelling an
+// off-chip data-corruption attack. It reports whether any block existed to
+// tamper with.
+func (s *SecureTensor) Tamper() bool {
+	for addr, sealed := range s.sealed {
+		sealed[0] ^= 0x80
+		s.sealed[addr] = sealed
+		return true
+	}
+	return false
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

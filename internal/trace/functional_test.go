@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"secureloop/internal/authblock"
+)
+
+// writeAll fills the tensor with deterministic plaintext through the
+// producer path and returns the reference tensor (channel-major).
+func writeAll(t *testing.T, st *SecureTensor, p authblock.ProducerGrid) []byte {
+	t.Helper()
+	ref := make([]byte, p.C*p.H*p.W)
+	for i := range ref {
+		ref[i] = byte(i*37 + 11)
+	}
+	nc, nh, nw := p.Counts()
+	for ti := 0; ti < nc; ti++ {
+		for tj := 0; tj < nh; tj++ {
+			for tk := 0; tk < nw; tk++ {
+				origin, dims := st.tileInfo(ti, tj, tk)
+				tile := make([]byte, dims[0]*dims[1]*dims[2])
+				for c := 0; c < dims[0]; c++ {
+					for r := 0; r < dims[1]; r++ {
+						for w := 0; w < dims[2]; w++ {
+							gc, gr, gw := origin[0]+c, origin[1]+r, origin[2]+w
+							tile[(c*dims[1]+r)*dims[2]+w] = ref[(gc*p.H+gr)*p.W+gw]
+						}
+					}
+				}
+				if err := st.WriteTile(ti, tj, tk, tile); err != nil {
+					t.Fatalf("WriteTile(%d,%d,%d): %v", ti, tj, tk, err)
+				}
+			}
+		}
+	}
+	return ref
+}
+
+func TestSecureTensorRoundTrip(t *testing.T) {
+	p := authblock.ProducerGrid{C: 4, H: 9, W: 11, TileC: 2, TileH: 4, TileW: 5, WritesPerTile: 1}
+	key := bytes.Repeat([]byte{7}, 16)
+	for _, o := range authblock.Orientations {
+		for _, u := range []int{1, 3, 7, 16, 40} {
+			st, err := NewSecureTensor(p, authblock.Assignment{Orientation: o, U: u}, key, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := writeAll(t, st, p)
+			// Read several misaligned regions and verify contents.
+			rng := rand.New(rand.NewSource(int64(u)))
+			for trial := 0; trial < 20; trial++ {
+				c0 := rng.Intn(p.C)
+				c1 := c0 + 1 + rng.Intn(p.C-c0)
+				r0 := rng.Intn(p.H)
+				r1 := r0 + 1 + rng.Intn(p.H-r0)
+				w0 := rng.Intn(p.W)
+				w1 := w0 + 1 + rng.Intn(p.W-w0)
+				got, err := st.ReadRegion(c0, c1, r0, r1, w0, w1)
+				if err != nil {
+					t.Fatalf("%v u=%d ReadRegion: %v", o, u, err)
+				}
+				for c := c0; c < c1; c++ {
+					for r := r0; r < r1; r++ {
+						for w := w0; w < w1; w++ {
+							want := ref[(c*p.H+r)*p.W+w]
+							gotb := got[((c-c0)*(r1-r0)+(r-r0))*(w1-w0)+(w-w0)]
+							if gotb != want {
+								t.Fatalf("%v u=%d: element (%d,%d,%d) = %d, want %d", o, u, c, r, w, gotb, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSecureTensorTrafficMatchesAnalytic drives the full functional path
+// for a consumer grid and checks that the measured redundant elements and
+// tag fetches equal the analytic EvaluateCross prediction bit for bit.
+func TestSecureTensorTrafficMatchesAnalytic(t *testing.T) {
+	par := authblock.Params{WordBits: 8, HashBits: 64}
+	p := authblock.ProducerGrid{C: 3, H: 12, W: 10, TileC: 3, TileH: 4, TileW: 5, WritesPerTile: 1}
+	c := authblock.ConsumerGrid{
+		TileC: 2, WinH: 5, WinW: 4, StepH: 3, StepW: 3,
+		OffH: -1, OffW: 0, CountC: 2, CountH: 4, CountW: 4,
+		FetchesPerTile: 1,
+	}
+	key := make([]byte, 16)
+	for _, o := range authblock.Orientations {
+		for _, u := range []int{2, 5, 12, 20, 60} {
+			want := authblock.EvaluateCross(p, c, authblock.Orientation(o), u, par)
+			st, err := NewSecureTensor(p, authblock.Assignment{Orientation: o, U: u}, key, par.HashBits/8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			writeAll(t, st, p)
+			st.TagReads, st.RedundantElems = 0, 0
+			eachConsumerRegion(p, c, func(c0, c1, r0, r1, w0, w1 int) {
+				if _, err := st.ReadRegion(c0, c1, r0, r1, w0, w1); err != nil {
+					t.Fatalf("%v u=%d: %v", o, u, err)
+				}
+			})
+			if got := st.TagReads * int64(par.HashBits); got != want.HashReadBits {
+				t.Fatalf("%v u=%d: tag read bits %d, want %d", o, u, got, want.HashReadBits)
+			}
+			if got := st.RedundantElems * int64(par.WordBits); got != want.RedundantBits {
+				t.Fatalf("%v u=%d: redundant bits %d, want %d", o, u, got, want.RedundantBits)
+			}
+			if got := st.TagWrites * int64(par.HashBits); got != want.HashWriteBits {
+				t.Fatalf("%v u=%d: tag write bits %d, want %d", o, u, got, want.HashWriteBits)
+			}
+		}
+	}
+}
+
+func TestSecureTensorDetectsTampering(t *testing.T) {
+	p := authblock.Whole(2, 6, 6)
+	st, err := NewSecureTensor(p, authblock.Assignment{Orientation: authblock.AlongQ, U: 9}, make([]byte, 16), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, st, p)
+	if !st.Tamper() {
+		t.Fatal("nothing to tamper with")
+	}
+	// Reading the whole tensor must hit the corrupted block.
+	if _, err := st.ReadRegion(0, 2, 0, 6, 0, 6); err == nil {
+		t.Fatal("tampered tensor read succeeded")
+	}
+}
+
+func TestSecureTensorRejectsBadInputs(t *testing.T) {
+	p := authblock.Whole(1, 4, 4)
+	if _, err := NewSecureTensor(p, authblock.Assignment{U: 0}, make([]byte, 16), 8); err == nil {
+		t.Error("accepted zero block size")
+	}
+	if _, err := NewSecureTensor(p, authblock.Assignment{U: 4}, make([]byte, 5), 8); err == nil {
+		t.Error("accepted bad key size")
+	}
+	st, err := NewSecureTensor(p, authblock.Assignment{U: 4}, make([]byte, 16), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteTile(0, 0, 0, make([]byte, 3)); err == nil {
+		t.Error("accepted short tile data")
+	}
+	if _, err := st.ReadRegion(0, 0, 0, 4, 0, 4); err == nil {
+		t.Error("accepted empty region")
+	}
+	if _, err := st.ReadRegion(0, 2, 0, 4, 0, 4); err == nil {
+		t.Error("accepted out-of-range region")
+	}
+}

@@ -1,0 +1,154 @@
+// Package trace is a tile-level off-chip traffic simulator used as the
+// validation oracle for the authblock package's analytic counting: it
+// enumerates every consumer tile fetch, marks every AuthBlock touched, and
+// counts hash and redundant traffic by direct enumeration. Its functional
+// mode goes further and actually encrypts/authenticates tile data with the
+// from-scratch AES-GCM substrate, proving that the traffic the scheduler
+// reasons about corresponds to a working secure data path.
+package trace
+
+import (
+	"secureloop/internal/authblock"
+)
+
+// CrossCosts simulates the producer/consumer handoff under an AuthBlock
+// assignment and returns the same cost breakdown authblock.EvaluateCross
+// computes analytically.
+func CrossCosts(p authblock.ProducerGrid, c authblock.ConsumerGrid, o authblock.Orientation, u int, par authblock.Params) authblock.Costs {
+	var hashWrites, hashReads, redundant int64
+
+	// Producer side: tags per tile write.
+	eachProducerTile(p, func(tc, th, tw int) {
+		flat := int64(tc) * int64(th) * int64(tw)
+		hashWrites += (flat + int64(u) - 1) / int64(u)
+	})
+	hashWrites *= p.WritesPerTile
+
+	// Consumer side: enumerate every tile fetch.
+	eachConsumerRegion(p, c, func(c0, c1, r0, r1, w0, w1 int) {
+		needed := int64(c1-c0) * int64(r1-r0) * int64(w1-w0)
+		var covered int64
+		var blocks int64
+		// Split the region by producer tiles.
+		forOverlaps(c0, c1, p.C, p.TileC, func(ct0, ctd, lc0, lc1 int) {
+			forOverlaps(r0, r1, p.H, p.TileH, func(rt0, rtd, lr0, lr1 int) {
+				forOverlaps(w0, w1, p.W, p.TileW, func(wt0, wtd, lw0, lw1 int) {
+					b, cov := bruteBox(ctd, rtd, wtd,
+						lc0, lc1, lr0, lr1, lw0, lw1, o, u)
+					blocks += b
+					covered += cov
+				})
+			})
+		})
+		hashReads += blocks
+		redundant += covered - needed
+	})
+
+	return authblock.Costs{
+		HashWriteBits: hashWrites * int64(par.HashBits),
+		HashReadBits:  hashReads * c.FetchesPerTile * int64(par.HashBits),
+		RedundantBits: redundant * c.FetchesPerTile * int64(par.WordBits),
+	}
+}
+
+// eachProducerTile visits every producer tile with its clipped dims.
+func eachProducerTile(p authblock.ProducerGrid, fn func(tc, th, tw int)) {
+	for c0 := 0; c0 < p.C; c0 += p.TileC {
+		tc := min(p.TileC, p.C-c0)
+		for h0 := 0; h0 < p.H; h0 += p.TileH {
+			th := min(p.TileH, p.H-h0)
+			for w0 := 0; w0 < p.W; w0 += p.TileW {
+				fn(tc, th, min(p.TileW, p.W-w0))
+			}
+		}
+	}
+}
+
+// eachConsumerRegion visits every consumer tile's clipped tensor region.
+func eachConsumerRegion(p authblock.ProducerGrid, c authblock.ConsumerGrid, fn func(c0, c1, r0, r1, w0, w1 int)) {
+	for ic := 0; ic < c.CountC; ic++ {
+		c0 := ic * c.TileC
+		c1 := min(c0+c.TileC, p.C)
+		if c0 >= c1 {
+			continue
+		}
+		for ih := 0; ih < c.CountH; ih++ {
+			r0 := c.OffH + ih*c.StepH
+			r1 := min(r0+c.WinH, p.H)
+			if r0 < 0 {
+				r0 = 0
+			}
+			if r0 >= r1 {
+				continue
+			}
+			for iw := 0; iw < c.CountW; iw++ {
+				w0 := c.OffW + iw*c.StepW
+				w1 := min(w0+c.WinW, p.W)
+				if w0 < 0 {
+					w0 = 0
+				}
+				if w0 >= w1 {
+					continue
+				}
+				fn(c0, c1, r0, r1, w0, w1)
+			}
+		}
+	}
+}
+
+// forOverlaps splits tensor interval [lo, hi) by tile boundaries of size
+// tile within extent, yielding (tileOrigin, tileDim, localLo, localHi).
+func forOverlaps(lo, hi, extent, tile int, fn func(t0, tdim, l0, l1 int)) {
+	for x := lo; x < hi; {
+		t0 := (x / tile) * tile
+		tdim := min(tile, extent-t0)
+		segHi := min(hi, t0+tdim)
+		fn(t0, tdim, x-t0, segHi-t0)
+		x = segHi
+	}
+}
+
+// bruteBox enumerates the box's elements in the flattened tile, marking
+// touched blocks. It is an implementation independent of
+// authblock.CountBoxBlocks (different traversal, explicit set), so the two
+// cross-check each other.
+func bruteBox(tc, th, tw, c0, c1, r0, r1, w0, w1 int, o authblock.Orientation, u int) (blocks, covered int64) {
+	var d0, d1, d2 int
+	idx := func(cc, rr, ww int) int64 { return 0 }
+	switch o {
+	case authblock.AlongQ:
+		d0, d1, d2 = tc, th, tw
+		idx = func(cc, rr, ww int) int64 { return (int64(cc)*int64(d1)+int64(rr))*int64(d2) + int64(ww) }
+	case authblock.AlongP:
+		d0, d1, d2 = tc, tw, th
+		idx = func(cc, rr, ww int) int64 { return (int64(cc)*int64(d1)+int64(ww))*int64(d2) + int64(rr) }
+	case authblock.AlongC:
+		d0, d1, d2 = th, tw, tc
+		idx = func(cc, rr, ww int) int64 { return (int64(rr)*int64(d1)+int64(ww))*int64(d2) + int64(cc) }
+	}
+	flat := int64(d0) * int64(d1) * int64(d2)
+	touched := map[int64]bool{}
+	for cc := c0; cc < c1; cc++ {
+		for rr := r0; rr < r1; rr++ {
+			for ww := w0; ww < w1; ww++ {
+				touched[idx(cc, rr, ww)/int64(u)] = true
+			}
+		}
+	}
+	for k := range touched {
+		blocks++
+		end := (k + 1) * int64(u)
+		if end > flat {
+			end = flat
+		}
+		covered += end - k*int64(u)
+	}
+	return blocks, covered
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

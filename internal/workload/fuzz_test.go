@@ -1,0 +1,37 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseJSON asserts ParseJSON never panics and that anything it accepts
+// validates and survives a marshal/parse round trip.
+func FuzzParseJSON(f *testing.F) {
+	f.Add(sampleJSON)
+	f.Add(`{"layers":[{"c":1,"m":1,"r":1,"s":1,"p":1,"q":1}]}`)
+	f.Add(`{"name":"x","segments":[[0]],"layers":[{"c":2,"m":3,"r":1,"s":1,"p":2,"q":2}]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Add(`{"layers":[{"c":-1,"m":0,"r":0,"s":0,"p":0,"q":0}]}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		n, err := ParseJSON(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("accepted network fails validation: %v", err)
+		}
+		data, err := n.MarshalJSON()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back, err := ParseJSON(strings.NewReader(string(data)))
+		if err != nil {
+			t.Fatalf("round trip parse: %v", err)
+		}
+		if back.NumLayers() != n.NumLayers() {
+			t.Fatalf("round trip changed layer count")
+		}
+	})
+}

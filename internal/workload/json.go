@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonNetwork is the on-disk schema for custom workloads. Segment indices
+// are optional: when omitted, consecutive layers form one chain cut
+// wherever `cut_after` is set (pooling, residual adds and other
+// rehash-forcing post-processing).
+type jsonNetwork struct {
+	Name   string      `json:"name"`
+	Layers []jsonLayer `json:"layers"`
+	// Segments optionally overrides the derived segment structure.
+	Segments [][]int `json:"segments,omitempty"`
+}
+
+type jsonLayer struct {
+	Name      string `json:"name"`
+	C         int    `json:"c"`
+	M         int    `json:"m"`
+	R         int    `json:"r"`
+	S         int    `json:"s"`
+	P         int    `json:"p"`
+	Q         int    `json:"q"`
+	Stride    int    `json:"stride,omitempty"`
+	StrideH   int    `json:"stride_h,omitempty"`
+	StrideW   int    `json:"stride_w,omitempty"`
+	Pad       int    `json:"pad,omitempty"`
+	PadH      int    `json:"pad_h,omitempty"`
+	PadW      int    `json:"pad_w,omitempty"`
+	N         int    `json:"n,omitempty"`
+	Depthwise bool   `json:"depthwise,omitempty"`
+	WordBits  int    `json:"word_bits,omitempty"`
+	// CutAfter marks a segment boundary after this layer (a pooling or
+	// residual-add style post-processing step follows).
+	CutAfter bool `json:"cut_after,omitempty"`
+}
+
+// ParseJSON decodes a network description. Defaults: stride 1, pad 0,
+// batch 1, 16-bit words. The result is validated.
+func ParseJSON(r io.Reader) (*Network, error) {
+	var jn jsonNetwork
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jn); err != nil {
+		return nil, fmt.Errorf("workload: parsing network JSON: %w", err)
+	}
+	if jn.Name == "" {
+		jn.Name = "custom"
+	}
+	n := &Network{Name: jn.Name}
+	for i, jl := range jn.Layers {
+		l := Layer{
+			Name: jl.Name, C: jl.C, M: jl.M, R: jl.R, S: jl.S, P: jl.P, Q: jl.Q,
+			StrideH:   pick(jl.StrideH, jl.Stride, 1),
+			StrideW:   pick(jl.StrideW, jl.Stride, 1),
+			PadH:      pick(jl.PadH, jl.Pad, 0),
+			PadW:      pick(jl.PadW, jl.Pad, 0),
+			N:         pick(jl.N, 0, 1),
+			WordBits:  pick(jl.WordBits, 0, defaultWordBits),
+			Depthwise: jl.Depthwise,
+		}
+		if l.Name == "" {
+			l.Name = fmt.Sprintf("layer%d", i)
+		}
+		n.Layers = append(n.Layers, l)
+	}
+	if len(jn.Segments) > 0 {
+		n.Segments = jn.Segments
+	} else {
+		var chain []int
+		for i, jl := range jn.Layers {
+			chain = append(chain, i)
+			if jl.CutAfter || i == len(jn.Layers)-1 {
+				n.Segments = append(n.Segments, chain)
+				chain = nil
+			}
+		}
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// LoadJSON reads a network description from a file.
+func LoadJSON(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	defer f.Close()
+	return ParseJSON(f)
+}
+
+// MarshalJSON renders a network in the ParseJSON schema (layers with
+// explicit segments), so built-in networks can be exported, edited and
+// reloaded.
+func (n *Network) MarshalJSON() ([]byte, error) {
+	jn := jsonNetwork{Name: n.Name, Segments: n.Segments}
+	for i := range n.Layers {
+		l := &n.Layers[i]
+		jn.Layers = append(jn.Layers, jsonLayer{
+			Name: l.Name, C: l.C, M: l.M, R: l.R, S: l.S, P: l.P, Q: l.Q,
+			StrideH: l.StrideH, StrideW: l.StrideW,
+			PadH: l.PadH, PadW: l.PadW,
+			N: l.N, Depthwise: l.Depthwise, WordBits: l.WordBits,
+		})
+	}
+	return json.MarshalIndent(jn, "", "  ")
+}
+
+func pick(specific, generic, def int) int {
+	if specific > 0 {
+		return specific
+	}
+	if generic > 0 {
+		return generic
+	}
+	return def
+}

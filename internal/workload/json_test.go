@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{
+  "name": "tiny",
+  "layers": [
+    {"name": "c1", "c": 3, "m": 16, "r": 3, "s": 3, "p": 14, "q": 14, "stride": 1, "pad": 1, "cut_after": true},
+    {"name": "c2", "c": 16, "m": 32, "r": 3, "s": 3, "p": 14, "q": 14, "pad": 1},
+    {"name": "c3", "c": 32, "m": 32, "r": 3, "s": 3, "p": 14, "q": 14, "pad": 1}
+  ]
+}`
+
+func TestParseJSON(t *testing.T) {
+	n, err := ParseJSON(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "tiny" || n.NumLayers() != 3 {
+		t.Fatalf("parsed %s/%d", n.Name, n.NumLayers())
+	}
+	// cut_after on c1 -> segments {0}, {1,2}.
+	if len(n.Segments) != 2 || len(n.Segments[1]) != 2 {
+		t.Fatalf("segments = %v", n.Segments)
+	}
+	if n.Layers[0].StrideH != 1 || n.Layers[0].PadH != 1 || n.Layers[0].N != 1 {
+		t.Error("defaults not applied")
+	}
+	if n.Layers[1].WordBits != defaultWordBits {
+		t.Error("word bits default")
+	}
+}
+
+func TestParseJSONExplicitSegments(t *testing.T) {
+	in := strings.Replace(sampleJSON, `"layers"`, `"segments": [[0],[1],[2]], "layers"`, 1)
+	n, err := ParseJSON(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Segments) != 3 {
+		t.Fatalf("segments = %v", n.Segments)
+	}
+}
+
+func TestParseJSONRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`{"layers": []}`, // no layers
+		`{"layers": [{"c": 0, "m": 1, "r": 1, "s": 1, "p": 1, "q": 1}]}`,         // bad shape
+		`{"layers": [{"c": 1, "m": 1, "r": 1, "s": 1, "p": 1, "q": 1}], "x": 1}`, // unknown field
+		`{"layers": [
+		   {"c": 3, "m": 8, "r": 1, "s": 1, "p": 4, "q": 4},
+		   {"c": 9, "m": 8, "r": 1, "s": 1, "p": 4, "q": 4}]}`, // channel mismatch in chain
+		`not json`,
+	}
+	for i, in := range cases {
+		if _, err := ParseJSON(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, orig := range Networks() {
+		data, err := orig.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseJSON(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if back.NumLayers() != orig.NumLayers() {
+			t.Fatalf("%s: %d layers after round trip", orig.Name, back.NumLayers())
+		}
+		for i := range orig.Layers {
+			if orig.Layers[i] != back.Layers[i] {
+				t.Fatalf("%s layer %d: %+v != %+v", orig.Name, i, orig.Layers[i], back.Layers[i])
+			}
+		}
+		if len(back.Segments) != len(orig.Segments) {
+			t.Fatalf("%s: segments differ", orig.Name)
+		}
+	}
+}
+
+func TestLoadJSONMissingFile(t *testing.T) {
+	if _, err := LoadJSON("/nonexistent/net.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

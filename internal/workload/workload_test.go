@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllNetworksValidate(t *testing.T) {
+	for _, n := range Networks() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestNetworkShapes(t *testing.T) {
+	cases := []struct {
+		name      string
+		layers    int
+		segments  int
+		macsLow   int64
+		macsHigh  int64
+		pairssMin int
+	}{
+		{"alexnet", 5, 3, 6e8, 7e8, 2},
+		{"resnet18", 21, 12, 1.8e9, 1.9e9, 8},
+		{"mobilenetv2", 52, 16, 2.9e8, 3.2e8, 20},
+	}
+	for _, c := range cases {
+		n, err := ByName(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := n.NumLayers(); got != c.layers {
+			t.Errorf("%s: %d layers, want %d", c.name, got, c.layers)
+		}
+		if got := len(n.Segments); got < c.segments {
+			t.Errorf("%s: %d segments, want >= %d", c.name, got, c.segments)
+		}
+		if macs := n.TotalMACs(); macs < c.macsLow || macs > c.macsHigh {
+			t.Errorf("%s: %d MACs, want within [%g, %g]", c.name, macs, float64(c.macsLow), float64(c.macsHigh))
+		}
+		if got := len(n.CrossLayerPairs()); got < c.pairssMin {
+			t.Errorf("%s: %d cross-layer pairs, want >= %d", c.name, got, c.pairssMin)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("lenet5"); err == nil {
+		t.Fatal("ByName accepted unknown network")
+	}
+}
+
+func TestAlexNetConv1Shape(t *testing.T) {
+	l := AlexNet().Layer(0)
+	if l.InH() != 227 || l.InW() != 227 {
+		t.Errorf("conv1 input %dx%d, want 227x227", l.InH(), l.InW())
+	}
+	if got := l.MACs(); got != int64(55*55*64*3*11*11) {
+		t.Errorf("conv1 MACs = %d", got)
+	}
+	if got := l.Volume(Weight); got != int64(64*3*11*11) {
+		t.Errorf("conv1 weights = %d", got)
+	}
+}
+
+func TestDepthwiseSemantics(t *testing.T) {
+	n := MobileNetV2()
+	var dw *Layer
+	for i := range n.Layers {
+		if n.Layers[i].Depthwise {
+			dw = &n.Layers[i]
+			break
+		}
+	}
+	if dw == nil {
+		t.Fatal("MobileNetV2 has no depthwise layer")
+	}
+	if dw.C != dw.M {
+		t.Fatalf("depthwise C=%d M=%d", dw.C, dw.M)
+	}
+	if got, want := dw.MACs(), int64(dw.M)*int64(dw.P)*int64(dw.Q)*int64(dw.R)*int64(dw.S); got != want {
+		t.Errorf("depthwise MACs = %d, want %d", got, want)
+	}
+	if got, want := dw.Volume(Weight), int64(dw.M)*int64(dw.R)*int64(dw.S); got != want {
+		t.Errorf("depthwise weights = %d, want %d", got, want)
+	}
+}
+
+func TestSegmentOf(t *testing.T) {
+	n := AlexNet()
+	for s, seg := range n.Segments {
+		for p, li := range seg {
+			gs, gp := n.SegmentOf(li)
+			if gs != s || gp != p {
+				t.Errorf("SegmentOf(%d) = (%d,%d), want (%d,%d)", li, gs, gp, s, p)
+			}
+		}
+	}
+	if s, p := n.SegmentOf(99); s != -1 || p != -1 {
+		t.Errorf("SegmentOf(99) = (%d,%d)", s, p)
+	}
+}
+
+func TestCrossLayerPairsShareShapes(t *testing.T) {
+	for _, n := range Networks() {
+		for _, pr := range n.CrossLayerPairs() {
+			p, c := n.Layer(pr[0]), n.Layer(pr[1])
+			if p.M != c.C && !(c.Depthwise && p.M == c.M) {
+				t.Errorf("%s: pair %s->%s channel mismatch", n.Name, p.Name, c.Name)
+			}
+		}
+	}
+}
+
+func TestLayerValidateRejectsBadShapes(t *testing.T) {
+	good := Layer{Name: "l", C: 3, M: 8, R: 3, S: 3, P: 5, Q: 5, StrideH: 1, StrideW: 1, N: 1, WordBits: 16}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good layer rejected: %v", err)
+	}
+	mutations := []func(*Layer){
+		func(l *Layer) { l.C = 0 },
+		func(l *Layer) { l.M = -1 },
+		func(l *Layer) { l.StrideH = 0 },
+		func(l *Layer) { l.PadH = -1 },
+		func(l *Layer) { l.N = 0 },
+		func(l *Layer) { l.WordBits = 0 },
+		func(l *Layer) { l.Depthwise = true }, // C != M
+	}
+	for i, mut := range mutations {
+		l := good
+		mut(&l)
+		if err := l.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+// Property: for any valid stride/pad/filter combination, the implied input
+// extent reproduces P under the convolution output formula.
+func TestInputOutputRoundTrip(t *testing.T) {
+	f := func(p, r, stride, pad uint8) bool {
+		P := int(p%60) + 1
+		R := int(r%7) + 1
+		S := int(stride%3) + 1
+		Pad := int(pad % 3)
+		l := Layer{Name: "t", C: 1, M: 1, R: R, S: R, P: P, Q: P,
+			StrideH: S, StrideW: S, PadH: Pad, PadW: Pad, N: 1, WordBits: 16}
+		if l.InH() <= 0 {
+			return true // degenerate; Validate would reject
+		}
+		// Standard conv arithmetic: out = floor((in + 2*pad - R)/stride) + 1.
+		out := (l.InH()+2*Pad-R)/S + 1
+		return out == P
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVolumeBits(t *testing.T) {
+	l := AlexNet().Layer(1)
+	if got, want := l.VolumeBits(Ofmap), l.Volume(Ofmap)*int64(l.WordBits); got != want {
+		t.Errorf("VolumeBits = %d, want %d", got, want)
+	}
+	if l.TotalVolume() != l.Volume(Weight)+l.Volume(Ifmap)+l.Volume(Ofmap) {
+		t.Error("TotalVolume mismatch")
+	}
+}
+
+func TestDatatypeString(t *testing.T) {
+	if Weight.String() != "weight" || Ifmap.String() != "ifmap" || Ofmap.String() != "ofmap" {
+		t.Error("datatype names wrong")
+	}
+	if Datatype(9).String() != "unknown" {
+		t.Error("out-of-range datatype name")
+	}
+}
+
+func TestVGG16(t *testing.T) {
+	n := VGG16()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLayers() != 16 {
+		t.Errorf("%d layers, want 16", n.NumLayers())
+	}
+	// ~15.3 GMACs for the standard 224x224 VGG-16.
+	if macs := n.TotalMACs(); macs < 15.0e9 || macs > 15.8e9 {
+		t.Errorf("MACs = %g, want ~15.5e9", float64(macs))
+	}
+	// fc6 segment is the classifier boundary; conv blocks chain.
+	if len(n.Segments) != 7 {
+		t.Errorf("%d segments, want 7", len(n.Segments))
+	}
+	if got, _ := ByName("vgg16"); got == nil || got.Name != "VGG16" {
+		t.Error("ByName(vgg16) failed")
+	}
+}
