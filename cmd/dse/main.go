@@ -14,7 +14,6 @@ import (
 	"os"
 	"strings"
 
-	"secureloop/internal/accelergy"
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/dse"
@@ -36,33 +35,12 @@ func main() {
 	}
 	specs, cryptos := dse.Figure16Space(arch.Base())
 
-	var points []dse.DesignPoint
-	for _, spec := range specs {
-		for _, cfg := range cryptos {
-			s := core.New(spec, cfg)
-			s.Anneal.Iterations = *iters
-			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
-			if err != nil {
-				fatal(err)
-			}
-			base, err := s.ScheduleNetwork(net, core.Unsecure)
-			if err != nil {
-				fatal(err)
-			}
-			points = append(points, dse.DesignPoint{
-				Spec: spec, Crypto: cfg,
-				AreaMM2: accelergy.TotalAreaMM2(
-					spec.NumPEs(), spec.GlobalBufferBytes, cfg.TotalAreaKGates()),
-				CryptoAreaOverheadPct: accelergy.CryptoAreaOverheadPercent(
-					cfg.TotalAreaKGates(), spec.NumPEs()),
-				Cycles:         res.Total.Cycles,
-				EnergyPJ:       res.Total.EnergyPJ,
-				UnsecureCycles: base.Total.Cycles,
-			})
-			fmt.Fprintf(os.Stderr, ".")
-		}
+	fmt.Fprintf(os.Stderr, "evaluating %d design points...\n", len(specs)*len(cryptos))
+	points, err := dse.SweepOpts(net, specs, cryptos, core.CryptOptCross,
+		dse.Options{AnnealIterations: *iters})
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Fprintln(os.Stderr)
 	dse.MarkPareto(points)
 
 	var csv strings.Builder

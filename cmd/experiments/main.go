@@ -3,11 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-out results]
+//	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-out results] [-cachestats]
 //
 // -quick trades fidelity for speed (fewer annealing iterations and seeds);
 // use it for smoke runs. The full run regenerates every experiment at
-// paper-scale settings.
+// paper-scale settings. -cachestats reports the memoisation-layer counters
+// (mapper search cache, AuthBlock memos) after the run.
 package main
 
 import (
@@ -18,13 +19,16 @@ import (
 	"strings"
 	"time"
 
+	"secureloop/internal/authblock"
 	"secureloop/internal/experiments"
+	"secureloop/internal/mapper"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "experiment to run (all, 3, t2, 9, 10, 11, 12, 13, 14, 15, 16, dram, hashsize)")
 	quick := flag.Bool("quick", false, "reduced-fidelity fast run")
 	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
+	cachestats := flag.Bool("cachestats", false, "report cache hit/miss counters after the run")
 	flag.Parse()
 
 	opts := experiments.Options{Quick: *quick}
@@ -75,6 +79,17 @@ func main() {
 		return []experiments.Table{t}
 	})
 	run("hashsize", func() []experiments.Table { return []experiments.Table{experiments.HashSizeStudy(opts)} })
+
+	if *cachestats {
+		ms := mapper.CacheStats()
+		fmt.Printf("mapper search cache:  %d hits, %d misses, %d coalesced, %d entries\n",
+			ms.Hits, ms.Misses, ms.Shared, ms.Entries)
+		opt, tile := authblock.CacheStats()
+		fmt.Printf("authblock optimal:    %d hits, %d misses, %d entries\n",
+			opt.Hits, opt.Misses, opt.Entries)
+		fmt.Printf("authblock tile-block: %d hits, %d misses, %d entries\n",
+			tile.Hits, tile.Misses, tile.Entries)
+	}
 }
 
 func fatal(err error) {

@@ -23,6 +23,21 @@ type Problem interface {
 	Cost(choices []int) float64
 }
 
+// Incremental is an optional Problem extension for states whose cost
+// responds locally to a single-component move (a layer's schedule change
+// touches only that layer and its segment neighbours). When a Problem
+// implements it, Minimize evaluates each proposed move through DeltaCost
+// instead of a full Cost recomputation, turning the per-iteration cost from
+// O(segment) layer evaluations into O(1).
+type Incremental interface {
+	Problem
+	// DeltaCost returns the cost of the state obtained from choices by
+	// setting component i to next. It must not mutate choices and must
+	// return exactly the value Cost would return on the modified vector, so
+	// the annealing trajectory is identical with or without the fast path.
+	DeltaCost(choices []int, i, next int) float64
+}
+
 // Options tunes the search.
 type Options struct {
 	// Iterations is the annealing step count (the paper defaults to 1000).
@@ -83,33 +98,43 @@ func Minimize(p Problem, opts Options) Result {
 	if norm <= 0 {
 		norm = 1
 	}
+	inc, incremental := p.(Incremental)
 
 	for it := 0; it < opts.Iterations; it++ {
 		// Linear temperature decay (Algorithm 1 line 13).
 		frac := float64(it) / float64(opts.Iterations)
 		t := opts.TInit + (opts.TFinal-opts.TInit)*frac
 
+		// Sample a layer and one of its NumChoices(i)-1 *other* candidates,
+		// so every iteration proposes a real move (sampling the current
+		// choice would burn the iteration as a no-op).
 		i := movable[rng.Intn(len(movable))]
-		next := rng.Intn(p.NumChoices(i))
-		if next == cur[i] {
-			continue
+		next := rng.Intn(p.NumChoices(i) - 1)
+		if next >= cur[i] {
+			next++
 		}
-		old := cur[i]
-		cur[i] = next
-		nextCost := p.Cost(cur)
+
+		var nextCost float64
+		if incremental {
+			nextCost = inc.DeltaCost(cur, i, next)
+		} else {
+			old := cur[i]
+			cur[i] = next
+			nextCost = p.Cost(cur)
+			cur[i] = old
+		}
 
 		// Probabilistic acceptance (Algorithm 1 lines 8-12): improvements
 		// always accepted, regressions with probability exp(diff/t).
 		diff := (curCost - nextCost) / norm
 		if math.Exp(diff/t) > rng.Float64() {
+			cur[i] = next
 			curCost = nextCost
 			res.Accepted++
 			if nextCost < res.Cost {
 				res.Cost = nextCost
 				copy(res.Choices, cur)
 			}
-		} else {
-			cur[i] = old
 		}
 	}
 	return res

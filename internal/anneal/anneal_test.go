@@ -90,6 +90,72 @@ func TestDefaultOptions(t *testing.T) {
 	}
 }
 
+// incQuadProblem adds the Incremental fast path to quadProblem.
+type incQuadProblem struct {
+	quadProblem
+	deltaCalls int
+}
+
+func (p *incQuadProblem) DeltaCost(c []int, i, next int) float64 {
+	p.deltaCalls++
+	var s float64
+	for j, v := range c {
+		if j == i {
+			v = next
+		}
+		d := float64(v - p.target[j])
+		s += d * d
+	}
+	return s + 1
+}
+
+// hideIncremental wraps an Incremental problem so Minimize only sees the
+// base interface (forcing the full-recomputation path).
+type hideIncremental struct{ p Problem }
+
+func (h hideIncremental) NumLayers() int       { return h.p.NumLayers() }
+func (h hideIncremental) NumChoices(i int) int { return h.p.NumChoices(i) }
+func (h hideIncremental) Cost(c []int) float64 { return h.p.Cost(c) }
+
+// TestIncrementalMatchesFullRecomputation: the DeltaCost fast path must
+// reproduce the full-Cost annealing trajectory exactly — same best state,
+// same cost, same acceptance count.
+func TestIncrementalMatchesFullRecomputation(t *testing.T) {
+	opts := Options{Iterations: 800, TInit: 0.4, TFinal: 1e-3, Seed: 11}
+	full := &incQuadProblem{quadProblem: quadProblem{target: []int{3, 1, 4, 1, 5}, k: 6}}
+	fullRes := Minimize(hideIncremental{full}, opts)
+	fast := &incQuadProblem{quadProblem: quadProblem{target: []int{3, 1, 4, 1, 5}, k: 6}}
+	fastRes := Minimize(fast, opts)
+	if fastRes.Cost != fullRes.Cost || fastRes.Accepted != fullRes.Accepted {
+		t.Fatalf("incremental diverged: %+v vs %+v", fastRes, fullRes)
+	}
+	for i := range fastRes.Choices {
+		if fastRes.Choices[i] != fullRes.Choices[i] {
+			t.Fatalf("choices diverged: %v vs %v", fastRes.Choices, fullRes.Choices)
+		}
+	}
+	if fast.deltaCalls != opts.Iterations {
+		t.Errorf("DeltaCost called %d times, want %d", fast.deltaCalls, opts.Iterations)
+	}
+	// The fast path evaluates the full cost only once (the initial state).
+	if fast.calls != 1 {
+		t.Errorf("incremental path called Cost %d times, want 1", fast.calls)
+	}
+}
+
+// TestEveryIterationProposesARealMove: sampling is over the other
+// NumChoices-1 candidates, so no iteration is burned proposing the current
+// choice — the full-path Cost is evaluated exactly once per iteration.
+func TestEveryIterationProposesARealMove(t *testing.T) {
+	p := &quadProblem{target: []int{1, 1}, k: 2}
+	opts := Options{Iterations: 200, TInit: 0.5, TFinal: 1e-3, Seed: 5}
+	Minimize(p, opts)
+	if want := opts.Iterations + 1; p.calls != want {
+		t.Errorf("Cost called %d times, want %d (one per iteration plus the initial state)",
+			p.calls, want)
+	}
+}
+
 // TestHigherTemperatureExploresMore: with a very high temperature nearly
 // all moves are accepted; with near-zero temperature only improvements are.
 func TestTemperatureControlsAcceptance(t *testing.T) {

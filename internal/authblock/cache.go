@@ -1,12 +1,16 @@
 package authblock
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The optimal-assignment search and the baseline evaluation are pure
 // functions of (ProducerGrid, ConsumerGrid, Params), all comparable
 // structs, and the same grid pairs recur across scheduling algorithms,
 // annealing iterations and design-space sweeps. A process-wide memo makes
-// repeated experiments cheap.
+// repeated experiments cheap. Both memos are sharded so the parallel
+// design-space sweep does not serialize on a single mutex.
 
 type cacheKey struct {
 	p   ProducerGrid
@@ -14,12 +18,48 @@ type cacheKey struct {
 	par Params
 }
 
-var (
-	optMu    sync.Mutex
-	optCache = map[cacheKey]Result{}
+// numShards bounds lock contention across concurrent design-point
+// evaluations; power of two so the hash mixes cheaply.
+const numShards = 32
 
-	tileMu    sync.Mutex
-	tileCache = map[cacheKey]tileEntry{}
+// shard hashes the key fields (FNV-1a) to pick a shard index.
+func (k cacheKey) shard() int {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, v := range [...]int{
+		k.p.C, k.p.H, k.p.W, k.p.TileC, k.p.TileH, k.p.TileW,
+		k.c.TileC, k.c.WinH, k.c.WinW, k.c.StepH, k.c.StepW,
+		k.c.OffH, k.c.OffW, k.c.CountC, k.c.CountH, k.c.CountW,
+		k.par.WordBits, k.par.HashBits,
+	} {
+		mix(uint64(v))
+	}
+	mix(uint64(k.p.WritesPerTile))
+	mix(uint64(k.c.FetchesPerTile))
+	return int(h % numShards)
+}
+
+type optShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]Result
+}
+
+type tileShard struct {
+	mu      sync.Mutex
+	entries map[cacheKey]tileEntry
+}
+
+var (
+	optShards  [numShards]optShard
+	tileShards [numShards]tileShard
+
+	optHits    atomic.Int64
+	optMisses  atomic.Int64
+	tileHits   atomic.Int64
+	tileMisses atomic.Int64
 )
 
 type tileEntry struct {
@@ -27,34 +67,94 @@ type tileEntry struct {
 	rehashed bool
 }
 
+// Stats reports cache effectiveness counters for one memo.
+type Stats struct {
+	Hits    int64
+	Misses  int64
+	Entries int64
+}
+
+// CacheStats snapshots the counters of the optimal-assignment memo and the
+// tile-as-an-AuthBlock memo.
+func CacheStats() (optimal, tile Stats) {
+	optimal = Stats{Hits: optHits.Load(), Misses: optMisses.Load()}
+	tile = Stats{Hits: tileHits.Load(), Misses: tileMisses.Load()}
+	for i := range optShards {
+		s := &optShards[i]
+		s.mu.Lock()
+		optimal.Entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	for i := range tileShards {
+		s := &tileShards[i]
+		s.mu.Lock()
+		tile.Entries += int64(len(s.entries))
+		s.mu.Unlock()
+	}
+	return optimal, tile
+}
+
+// ResetCaches drops all memoised results and zeroes the counters (used by
+// benchmarks and tests that need a cold cache).
+func ResetCaches() {
+	for i := range optShards {
+		s := &optShards[i]
+		s.mu.Lock()
+		s.entries = nil
+		s.mu.Unlock()
+	}
+	for i := range tileShards {
+		s := &tileShards[i]
+		s.mu.Lock()
+		s.entries = nil
+		s.mu.Unlock()
+	}
+	optHits.Store(0)
+	optMisses.Store(0)
+	tileHits.Store(0)
+	tileMisses.Store(0)
+}
+
 // OptimalCached is Optimal with process-wide memoisation.
 func OptimalCached(p ProducerGrid, c ConsumerGrid, par Params) Result {
 	key := cacheKey{p: p, c: c, par: par}
-	optMu.Lock()
-	if r, ok := optCache[key]; ok {
-		optMu.Unlock()
+	s := &optShards[key.shard()]
+	s.mu.Lock()
+	if r, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		optHits.Add(1)
 		return r
 	}
-	optMu.Unlock()
+	s.mu.Unlock()
+	optMisses.Add(1)
 	r := Optimal(p, c, par)
-	optMu.Lock()
-	optCache[key] = r
-	optMu.Unlock()
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = map[cacheKey]Result{}
+	}
+	s.entries[key] = r
+	s.mu.Unlock()
 	return r
 }
 
 // TileAsAuthBlockCached is TileAsAuthBlock with process-wide memoisation.
 func TileAsAuthBlockCached(p ProducerGrid, c ConsumerGrid, par Params) (Costs, bool) {
 	key := cacheKey{p: p, c: c, par: par}
-	tileMu.Lock()
-	if e, ok := tileCache[key]; ok {
-		tileMu.Unlock()
+	s := &tileShards[key.shard()]
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		tileHits.Add(1)
 		return e.costs, e.rehashed
 	}
-	tileMu.Unlock()
+	s.mu.Unlock()
+	tileMisses.Add(1)
 	costs, rehashed := TileAsAuthBlock(p, c, par)
-	tileMu.Lock()
-	tileCache[key] = tileEntry{costs: costs, rehashed: rehashed}
-	tileMu.Unlock()
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = map[cacheKey]tileEntry{}
+	}
+	s.entries[key] = tileEntry{costs: costs, rehashed: rehashed}
+	s.mu.Unlock()
 	return costs, rehashed
 }

@@ -37,6 +37,28 @@ func TestTileAsAuthBlockCachedMatchesUncached(t *testing.T) {
 	}
 }
 
+func TestCacheStatsCountHitsAndMisses(t *testing.T) {
+	ResetCaches()
+	p, c, par := cacheFixtures()
+	OptimalCached(p, c, par)
+	OptimalCached(p, c, par)
+	OptimalCached(p, c, par)
+	TileAsAuthBlockCached(p, c, par)
+	TileAsAuthBlockCached(p, c, par)
+	opt, tile := CacheStats()
+	if opt.Misses != 1 || opt.Hits != 2 || opt.Entries != 1 {
+		t.Errorf("optimal stats = %+v", opt)
+	}
+	if tile.Misses != 1 || tile.Hits != 1 || tile.Entries != 1 {
+		t.Errorf("tile stats = %+v", tile)
+	}
+	ResetCaches()
+	opt, tile = CacheStats()
+	if opt != (Stats{}) || tile != (Stats{}) {
+		t.Errorf("stats after reset: opt=%+v tile=%+v", opt, tile)
+	}
+}
+
 func TestCachesAreConcurrencySafe(t *testing.T) {
 	p, c, par := cacheFixtures()
 	want := Optimal(p, c, par)

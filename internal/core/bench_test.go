@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"secureloop/internal/anneal"
+	"secureloop/internal/arch"
+	"secureloop/internal/authblock"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapper"
+	"secureloop/internal/workload"
+)
+
+// benchSegmentNetwork is a five-layer single-segment chain (deeper than any
+// paper segment) stressing the cross-layer annealing step.
+func benchSegmentNetwork() *workload.Network {
+	mk := func(name string, c, m int) workload.Layer {
+		return workload.Layer{
+			Name: name, C: c, M: m, R: 3, S: 3, P: 14, Q: 14,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			N: 1, WordBits: 16,
+		}
+	}
+	return &workload.Network{
+		Name: "bench-chain5",
+		Layers: []workload.Layer{
+			mk("l0", 64, 96),
+			mk("l1", 96, 96),
+			mk("l2", 96, 96),
+			mk("l3", 96, 96),
+			mk("l4", 96, 64),
+		},
+		Segments: [][]int{{0, 1, 2, 3, 4}},
+	}
+}
+
+// benchRun assembles the step-1 candidates for the bench network so the
+// benchmark isolates the annealing step.
+func benchRun(b *testing.B, net *workload.Network) *run {
+	b.Helper()
+	s := New(arch.Base(), cryptoengine.Config{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1})
+	r := &run{s: s, net: net, alg: CryptOptCross, pairCache: map[pairKey]authblock.Costs{}}
+	effBW := s.Crypto.EffectiveBytesPerCycle(s.Spec.DRAM.BytesPerCycle)
+	r.candidates = make([][]mapper.Candidate, net.NumLayers())
+	for i := range net.Layers {
+		r.candidates[i] = mapper.SearchCached(mapper.Request{
+			Layer: &net.Layers[i],
+			PEsX:  s.Spec.PEsX, PEsY: s.Spec.PEsY,
+			GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
+			EffectiveBytesPerCycle: effBW,
+			TopK:                   s.TopK,
+		})
+		if len(r.candidates[i]) == 0 {
+			b.Fatalf("no candidates for layer %d", i)
+		}
+	}
+	return r
+}
+
+// fullOnlyProblem hides the Incremental interface, forcing the annealer
+// onto the whole-segment recomputation path of the pre-optimisation code.
+type fullOnlyProblem struct{ p anneal.Problem }
+
+func (f fullOnlyProblem) NumLayers() int       { return f.p.NumLayers() }
+func (f fullOnlyProblem) NumChoices(i int) int { return f.p.NumChoices(i) }
+func (f fullOnlyProblem) Cost(c []int) float64 { return f.p.Cost(c) }
+
+// BenchmarkAnnealSegment measures Algorithm 1 on a 5-layer segment: 500
+// annealing iterations over the per-layer top-k candidate sets. The "full"
+// variant recomputes the whole segment per move with no memo (the old hot
+// path); "incremental" uses the layer memo plus DeltaCost. Both report
+// fresh layer evaluations per move.
+func BenchmarkAnnealSegment(b *testing.B) {
+	net := benchSegmentNetwork()
+	opts := anneal.Options{Iterations: 500, TInit: 0.05, TFinal: 1e-4, Seed: 1}
+	for _, mode := range []string{"full", "incremental"} {
+		b.Run(mode, func(b *testing.B) {
+			r := benchRun(b, net)
+			r.memoOff = mode == "full"
+			choices := make([]int, net.NumLayers())
+			var evals int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := range choices {
+					choices[j] = 0
+				}
+				r.layerEvals = 0
+				r.layerMemo = nil
+				var prob anneal.Problem = &segmentProblem{run: r, segment: net.Segments[0], choices: choices}
+				if mode == "full" {
+					prob = fullOnlyProblem{prob}
+				}
+				res := anneal.Minimize(prob, opts)
+				if res.Cost <= 0 {
+					b.Fatal("non-positive segment cost")
+				}
+				evals += r.layerEvals
+			}
+			b.ReportMetric(float64(evals)/float64(int64(b.N)*int64(opts.Iterations)), "layer-evals/move")
+		})
+	}
+}

@@ -93,6 +93,10 @@ type Scheduler struct {
 	// Objective selects the fine-tuning cost (default MinLatency,
 	// Algorithm 1's PerfModel).
 	Objective Objective
+	// MaxParallel bounds the worker pool used for the per-layer scheduling
+	// step (<= 0 means one worker per available CPU). Set to 1 to force the
+	// serial path; results are identical either way.
+	MaxParallel int
 }
 
 // New returns a scheduler with the paper's default knobs: k=6 and 1000

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"secureloop/internal/authblock"
+	"secureloop/internal/mapper"
+	"secureloop/internal/workload"
+)
+
+// TestParallelMappingMatchesSerial: fanning the per-layer step-1 searches
+// across a worker pool must not change any result — totals, per-layer
+// stats, mappings and assignments are all identical to the serial path.
+func TestParallelMappingMatchesSerial(t *testing.T) {
+	net := workload.AlexNet()
+	for _, alg := range []Algorithm{Unsecure, CryptOptSingle, CryptOptCross} {
+		serial := testScheduler()
+		serial.MaxParallel = 1
+		rs, err := serial.ScheduleNetwork(net, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := testScheduler()
+		rp, err := par.ScheduleNetwork(net, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Total != rs.Total {
+			t.Errorf("%v: parallel total %+v != serial %+v", alg, rp.Total, rs.Total)
+		}
+		if rp.Traffic != rs.Traffic {
+			t.Errorf("%v: parallel traffic %+v != serial %+v", alg, rp.Traffic, rs.Traffic)
+		}
+		if !reflect.DeepEqual(rp.Layers, rs.Layers) {
+			t.Errorf("%v: parallel per-layer results differ from serial", alg)
+		}
+	}
+}
+
+// testRun builds the annealing state for one segment of the network, as
+// ScheduleNetwork does before step 3.
+func testRun(t *testing.T, s *Scheduler, net *workload.Network) *run {
+	t.Helper()
+	r := &run{s: s, net: net, alg: CryptOptCross, pairCache: map[pairKey]authblock.Costs{}}
+	effBW := s.Crypto.EffectiveBytesPerCycle(s.Spec.DRAM.BytesPerCycle)
+	r.candidates = make([][]mapper.Candidate, net.NumLayers())
+	for i := range net.Layers {
+		r.candidates[i] = mapper.SearchCached(mapper.Request{
+			Layer: &net.Layers[i],
+			PEsX:  s.Spec.PEsX, PEsY: s.Spec.PEsY,
+			GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
+			EffectiveBytesPerCycle: effBW,
+			TopK:                   s.TopK,
+		})
+		if len(r.candidates[i]) == 0 {
+			t.Fatalf("no candidates for layer %d", i)
+		}
+	}
+	return r
+}
+
+// TestDeltaCostMatchesFullRecomputation: for random choice vectors and
+// random single-layer moves, the memoised DeltaCost path must equal a full
+// recomputation on an independent, unmemoised problem instance — for both
+// objectives.
+func TestDeltaCostMatchesFullRecomputation(t *testing.T) {
+	net := workload.AlexNet()
+	for _, objective := range []Objective{MinLatency, MinEDP} {
+		s := testScheduler()
+		s.Objective = objective
+		fast := testRun(t, s, net)
+		slow := testRun(t, s, net)
+		slow.memoOff = true
+
+		seg := net.Segments[2] // the conv3-conv5 chain
+		if len(seg) < 3 {
+			t.Fatal("expected a multi-layer segment")
+		}
+		fastProb := &segmentProblem{run: fast, segment: seg, choices: make([]int, net.NumLayers())}
+		slowProb := &segmentProblem{run: slow, segment: seg, choices: make([]int, net.NumLayers())}
+
+		rng := rand.New(rand.NewSource(9))
+		cur := make([]int, len(seg))
+		for trial := 0; trial < 100; trial++ {
+			for j, li := range seg {
+				cur[j] = rng.Intn(len(fast.candidates[li]))
+			}
+			i := rng.Intn(len(seg))
+			next := rng.Intn(len(fast.candidates[seg[i]]))
+
+			if got, want := fastProb.Cost(cur), slowProb.Cost(cur); got != want {
+				t.Fatalf("%v trial %d: memoised Cost %g != full recomputation %g",
+					objective, trial, got, want)
+			}
+			mod := append([]int(nil), cur...)
+			mod[i] = next
+			if got, want := fastProb.DeltaCost(cur, i, next), slowProb.Cost(mod); got != want {
+				t.Fatalf("%v trial %d: DeltaCost(%v,%d,%d) = %g, full recomputation %g",
+					objective, trial, cur, i, next, got, want)
+			}
+		}
+		if fast.layerEvals >= slow.layerEvals {
+			t.Errorf("%v: memoised path evaluated %d layers, unmemoised %d — memo ineffective",
+				objective, fast.layerEvals, slow.layerEvals)
+		}
+	}
+}
+
+// TestSegmentProblemImplementsIncremental guards the interface assertion
+// the annealing fast path depends on.
+func TestSegmentProblemImplementsIncremental(t *testing.T) {
+	var p interface{} = &segmentProblem{}
+	if _, ok := p.(interface {
+		DeltaCost(choices []int, i, next int) float64
+	}); !ok {
+		t.Fatal("segmentProblem does not implement DeltaCost")
+	}
+}

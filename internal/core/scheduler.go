@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"secureloop/internal/anneal"
 	"secureloop/internal/authblock"
@@ -36,24 +38,43 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 		pairCache: map[pairKey]authblock.Costs{},
 	}
 
-	// Step 1: crypto-aware loopnest scheduling (top-k per layer).
+	// Step 1: crypto-aware loopnest scheduling (top-k per layer). Layers are
+	// independent here, so the searches fan out across a bounded worker
+	// pool; the mapper cache coalesces concurrent identical shapes onto a
+	// single search, so repeated layers cost one search regardless of the
+	// schedule the pool happens to pick.
 	effBW := float64(s.Spec.DRAM.BytesPerCycle)
 	if alg != Unsecure {
 		effBW = s.Crypto.EffectiveBytesPerCycle(s.Spec.DRAM.BytesPerCycle)
 	}
+	topK := s.TopK
+	if alg != CryptOptCross {
+		topK = 1
+	}
 	run.candidates = make([][]mapper.Candidate, net.NumLayers())
+	workers := s.MaxParallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
 	for i := range net.Layers {
-		topK := s.TopK
-		if alg != CryptOptCross {
-			topK = 1
-		}
-		run.candidates[i] = mapper.SearchCached(mapper.Request{
-			Layer: &net.Layers[i],
-			PEsX:  s.Spec.PEsX, PEsY: s.Spec.PEsY,
-			GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
-			EffectiveBytesPerCycle: effBW,
-			TopK:                   topK,
-		})
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			run.candidates[i] = mapper.SearchCached(mapper.Request{
+				Layer: &net.Layers[i],
+				PEsX:  s.Spec.PEsX, PEsY: s.Spec.PEsY,
+				GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
+				EffectiveBytesPerCycle: effBW,
+				TopK:                   topK,
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i := range net.Layers {
 		if len(run.candidates[i]) == 0 {
 			return nil, fmt.Errorf("core: no valid mapping for layer %s", net.Layers[i].Name)
 		}
@@ -102,7 +123,8 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 	return out, nil
 }
 
-// run carries the per-invocation state: candidates and the pair-cost cache.
+// run carries the per-invocation state: candidates, the pair-cost cache and
+// the per-layer evaluation memo.
 type run struct {
 	s          *Scheduler
 	net        *workload.Network
@@ -112,6 +134,30 @@ type run struct {
 	pairCache map[pairKey]authblock.Costs
 	// pairAssign remembers the optimal assignment per pair for reporting.
 	pairAssign map[pairKey]authblock.Assignment
+
+	// layerMemo memoises full layer evaluations on (layer, choice,
+	// prevChoice, nextChoice) — the complete dependency set of one layer's
+	// scheduled cost. A single-layer annealing move invalidates at most
+	// three keys, so segment costs become O(1) fresh evaluations per move.
+	layerMemo map[layerKey]layerCost
+	// layerEvals counts non-memoised layer evaluations (observability for
+	// the annealing benchmarks).
+	layerEvals int64
+	// memoOff disables layerMemo (benchmarks of the unmemoised path only).
+	memoOff bool
+}
+
+// layerKey is the full dependency set of one layer's scheduled cost: its
+// own schedule choice plus the choices of its in-segment neighbours (-1
+// when the layer starts/ends its segment).
+type layerKey struct {
+	li, ci, cp, cn int
+}
+
+// layerCost is the memoised evaluation result.
+type layerCost struct {
+	cycles   int64
+	energyPJ float64
 }
 
 type pairKey struct {
@@ -172,16 +218,31 @@ func (r *run) neighbors(li int) (prev, next int) {
 	return prev, next
 }
 
-// layerOverhead assembles the authentication overhead charged to layer li
-// under the current choice vector.
-func (r *run) layerOverhead(li int, choices []int) (model.Overhead, authblock.Assignment) {
+// choicesAt resolves the choice vector into the explicit (choice,
+// prevChoice, nextChoice) dependency triple of layer li.
+func (r *run) choicesAt(li int, choices []int) (ci, cp, cn int) {
+	prev, next := r.neighbors(li)
+	ci, cp, cn = choices[li], -1, -1
+	if prev >= 0 {
+		cp = choices[prev]
+	}
+	if next >= 0 {
+		cn = choices[next]
+	}
+	return ci, cp, cn
+}
+
+// layerOverheadAt assembles the authentication overhead charged to layer li
+// with schedule choice ci, given in-segment neighbour choices cp and cn
+// (-1 when the layer starts/ends its segment).
+func (r *run) layerOverheadAt(li, ci, cp, cn int) (model.Overhead, authblock.Assignment) {
 	var ov model.Overhead
 	var ofmapAssign authblock.Assignment
 	if r.alg == Unsecure {
 		return ov, ofmapAssign
 	}
 	l := &r.net.Layers[li]
-	m := r.candidates[li][choices[li]].Mapping
+	m := r.candidates[li][ci].Mapping
 	par := r.s.Params
 
 	// Weights: tile-as-an-AuthBlock is optimal (no overlap, no consumer).
@@ -192,34 +253,34 @@ func (r *run) layerOverhead(li int, choices []int) (model.Overhead, authblock.As
 	prev, next := r.neighbors(li)
 
 	// Ifmap side.
-	if prev < 0 {
+	if cp < 0 {
 		// Segment source: blocks provisioned to match this consumer.
 		sc := authblock.SourceCosts(consumerGrid(l, m), par)
 		ov.HashBits[workload.Ifmap] += sc.HashReadBits
 	} else {
-		costs, _ := r.pairCosts(prev, li, choices[prev], choices[li])
+		costs, _ := r.pairCosts(prev, li, cp, ci)
 		ov.HashBits[workload.Ifmap] += costs.HashReadBits
 		ov.RedundantBits[workload.Ifmap] += costs.RedundantBits
 		ov.RehashBits += costs.RehashBits
 	}
 
 	// Ofmap side.
-	if next < 0 {
+	if cn < 0 {
 		sk := authblock.SinkCosts(producerGrid(l, m), par)
 		ov.HashBits[workload.Ofmap] += sk.HashWriteBits
 	} else {
-		costs, assign := r.pairCosts(li, next, choices[li], choices[next])
+		costs, assign := r.pairCosts(li, next, ci, cn)
 		ov.HashBits[workload.Ofmap] += costs.HashWriteBits
 		ofmapAssign = assign
 	}
 	return ov, ofmapAssign
 }
 
-// layerResult evaluates layer li under the choice vector.
-func (r *run) layerResult(li int, choices []int) LayerResult {
+// layerResultAt evaluates layer li under explicit choices.
+func (r *run) layerResultAt(li, ci, cp, cn int) LayerResult {
 	l := &r.net.Layers[li]
-	m := r.candidates[li][choices[li]].Mapping
-	ov, assign := r.layerOverhead(li, choices)
+	m := r.candidates[li][ci].Mapping
+	ov, assign := r.layerOverheadAt(li, ci, cp, cn)
 	var stats model.Stats
 	if r.alg == Unsecure {
 		stats = model.Evaluate(l, &r.s.Spec, m)
@@ -233,6 +294,33 @@ func (r *run) layerResult(li int, choices []int) LayerResult {
 		Overhead:        ov,
 		OfmapAssignment: assign,
 	}
+}
+
+// layerResult evaluates layer li under the choice vector.
+func (r *run) layerResult(li int, choices []int) LayerResult {
+	ci, cp, cn := r.choicesAt(li, choices)
+	return r.layerResultAt(li, ci, cp, cn)
+}
+
+// layerEval returns the scheduled cycles and energy of layer li under
+// explicit choices, memoised on the layer's full dependency set.
+func (r *run) layerEval(li, ci, cp, cn int) layerCost {
+	key := layerKey{li: li, ci: ci, cp: cp, cn: cn}
+	if !r.memoOff {
+		if v, ok := r.layerMemo[key]; ok {
+			return v
+		}
+	}
+	r.layerEvals++
+	lr := r.layerResultAt(li, ci, cp, cn)
+	v := layerCost{cycles: lr.Stats.Cycles, energyPJ: lr.Stats.EnergyPJ}
+	if !r.memoOff {
+		if r.layerMemo == nil {
+			r.layerMemo = map[layerKey]layerCost{}
+		}
+		r.layerMemo[key] = v
+	}
+	return v
 }
 
 // segmentProblem adapts one segment to the annealing interface. The cost is
@@ -254,12 +342,37 @@ func (p *segmentProblem) Cost(choices []int) float64 {
 	for j, li := range p.segment {
 		p.choices[li] = choices[j]
 	}
+	return p.costWith(choices, -1, 0)
+}
+
+// DeltaCost implements anneal.Incremental: the cost of `choices` with
+// component i moved to next. A single-layer move perturbs only that layer
+// and its two in-segment neighbours, so at most three layers need a fresh
+// evaluation — everything else is a memo hit.
+func (p *segmentProblem) DeltaCost(choices []int, i, next int) float64 {
+	return p.costWith(choices, i, next)
+}
+
+// costWith evaluates the segment cost of `choices` with component i
+// overridden to next (i < 0 means no override). Per-layer values come from
+// the run's layer memo and are summed in segment order, so the result is
+// bitwise identical however the same state is reached.
+func (p *segmentProblem) costWith(choices []int, i, next int) float64 {
+	at := func(j int) int {
+		if j < 0 || j >= len(p.segment) {
+			return -1
+		}
+		if j == i {
+			return next
+		}
+		return choices[j]
+	}
 	var cycles int64
 	var energy float64
-	for _, li := range p.segment {
-		lr := p.run.layerResult(li, p.choices)
-		cycles += lr.Stats.Cycles
-		energy += lr.Stats.EnergyPJ
+	for j, li := range p.segment {
+		c := p.run.layerEval(li, at(j), at(j-1), at(j+1))
+		cycles += c.cycles
+		energy += c.energyPJ
 	}
 	if p.run.s.Objective == MinEDP {
 		return energy * float64(cycles)

@@ -7,7 +7,9 @@ package dse
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"secureloop/internal/accelergy"
 	"secureloop/internal/arch"
@@ -49,15 +51,39 @@ func (d DesignPoint) Label() string {
 		d.Spec.PEsX, d.Spec.PEsY, d.Spec.GlobalBufferBytes/1024, d.Crypto)
 }
 
-// Evaluate schedules the network on one design with the given algorithm and
-// fills in area and performance.
-func Evaluate(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm) (DesignPoint, error) {
+// Options tunes a sweep. The zero value uses the scheduler defaults.
+type Options struct {
+	// AnnealIterations overrides the cross-layer annealing iteration count
+	// when positive.
+	AnnealIterations int
+}
+
+func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core.Scheduler {
 	s := core.New(spec, crypto)
-	res, err := s.ScheduleNetwork(net, alg)
-	if err != nil {
-		return DesignPoint{}, err
+	if opt.AnnealIterations > 0 {
+		s.Anneal.Iterations = opt.AnnealIterations
 	}
+	return s
+}
+
+// unsecureCycles schedules the network on one architecture without crypto
+// engines. The result does not depend on the crypto config (the Unsecure
+// algorithm never reads it); one is still needed to build a valid
+// scheduler.
+func unsecureCycles(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, opt Options) (int64, error) {
+	s := newScheduler(spec, crypto, opt)
 	base, err := s.ScheduleNetwork(net, core.Unsecure)
+	if err != nil {
+		return 0, err
+	}
+	return base.Total.Cycles, nil
+}
+
+// evaluateWithBaseline schedules the secure design and assembles the design
+// point around a precomputed unsecure baseline.
+func evaluateWithBaseline(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm, baseCycles int64, opt Options) (DesignPoint, error) {
+	s := newScheduler(spec, crypto, opt)
+	res, err := s.ScheduleNetwork(net, alg)
 	if err != nil {
 		return DesignPoint{}, err
 	}
@@ -70,13 +96,89 @@ func Evaluate(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config,
 			crypto.TotalAreaKGates(), spec.NumPEs()),
 		Cycles:         res.Total.Cycles,
 		EnergyPJ:       res.Total.EnergyPJ,
-		UnsecureCycles: base.Total.Cycles,
+		UnsecureCycles: baseCycles,
 	}, nil
 }
 
+// Evaluate schedules the network on one design with the given algorithm and
+// fills in area and performance.
+func Evaluate(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm) (DesignPoint, error) {
+	base, err := unsecureCycles(net, spec, crypto, Options{})
+	if err != nil {
+		return DesignPoint{}, err
+	}
+	return evaluateWithBaseline(net, spec, crypto, alg, base, Options{})
+}
+
 // Sweep evaluates the cross product of architectures and crypto configs on
-// one workload.
+// one workload. Design points are evaluated concurrently on a worker pool
+// bounded by the CPU count; the unsecure baseline of each architecture is
+// scheduled once per spec (not once per spec-crypto pair — a 3x redundancy
+// in the Figure 16 space), and the output order is the deterministic
+// specs-major cross product, identical to a serial evaluation.
 func Sweep(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm) ([]DesignPoint, error) {
+	return SweepOpts(net, specs, cryptos, alg, Options{})
+}
+
+// SweepOpts is Sweep with explicit tuning options.
+func SweepOpts(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm, opt Options) ([]DesignPoint, error) {
+	jobs := len(specs) * len(cryptos)
+	if jobs == 0 {
+		return nil, nil
+	}
+	out := make([]DesignPoint, jobs)
+	errs := make([]error, jobs)
+
+	// baseline memoises the unsecure schedule per spec: whichever worker
+	// needs it first computes it, the rest wait on the sync.Once.
+	type baseline struct {
+		once   sync.Once
+		cycles int64
+		err    error
+	}
+	bases := make([]baseline, len(specs))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > jobs {
+		workers = jobs
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for si := range specs {
+		for ci := range cryptos {
+			idx := si*len(cryptos) + ci
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(si, ci, idx int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				b := &bases[si]
+				b.once.Do(func() {
+					b.cycles, b.err = unsecureCycles(net, specs[si], cryptos[ci], opt)
+				})
+				if b.err != nil {
+					errs[idx] = b.err
+					return
+				}
+				out[idx], errs[idx] = evaluateWithBaseline(net, specs[si], cryptos[ci], alg, b.cycles, opt)
+			}(si, ci, idx)
+		}
+	}
+	wg.Wait()
+	for idx, err := range errs {
+		if err != nil {
+			// Report the first failing point in sweep order, as the serial
+			// path did.
+			si, ci := idx/len(cryptos), idx%len(cryptos)
+			return nil, fmt.Errorf("dse: %s %s: %w", specs[si].Name, cryptos[ci], err)
+		}
+	}
+	return out, nil
+}
+
+// sweepSerial is the reference single-threaded sweep; the parallel Sweep
+// must return exactly its output (asserted by tests).
+func sweepSerial(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm) ([]DesignPoint, error) {
 	var out []DesignPoint
 	for _, spec := range specs {
 		for _, c := range cryptos {

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"reflect"
 	"testing"
 
 	"secureloop/internal/arch"
@@ -104,6 +105,42 @@ func TestEvaluateOnePoint(t *testing.T) {
 	}
 	if dp.CryptoAreaOverheadPct < 30 || dp.CryptoAreaOverheadPct > 40 {
 		t.Errorf("pipelined overhead %g%%, want ~35%%", dp.CryptoAreaOverheadPct)
+	}
+}
+
+// TestSweepParallelMatchesSerial: the pooled sweep must return exactly the
+// serial cross-product evaluation — same points, same order, including the
+// per-spec memoised unsecure baselines (which must not depend on which
+// crypto config triggered their computation).
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduling runs")
+	}
+	net := workload.AlexNet()
+	specs := []arch.Spec{arch.Base(), arch.Base().WithGlobalBuffer(32 * 1024)}
+	cryptos := []cryptoengine.Config{
+		{Engine: cryptoengine.Serial(), CountPerDatatype: 8},
+		{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1},
+	}
+	for _, alg := range []core.Algorithm{core.CryptOptSingle, core.CryptOptCross} {
+		parallel, err := Sweep(net, specs, cryptos, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := sweepSerial(net, specs, cryptos, alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parallel, serial) {
+			t.Errorf("%v: parallel sweep diverged from serial:\nparallel: %+v\nserial:   %+v",
+				alg, parallel, serial)
+		}
+	}
+}
+
+func TestSweepEmptySpace(t *testing.T) {
+	if pts, err := Sweep(workload.AlexNet(), nil, nil, core.CryptOptSingle); err != nil || pts != nil {
+		t.Errorf("empty sweep = (%v, %v)", pts, err)
 	}
 }
 

@@ -1,0 +1,38 @@
+package mapper
+
+import (
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/workload"
+)
+
+// benchLayer is an AlexNet-conv2-shaped layer, a representative mid-size
+// convolution for the step-1 search.
+func benchLayer() workload.Layer {
+	return workload.Layer{
+		Name: "conv2", C: 64, M: 192, R: 5, S: 5, P: 27, Q: 27,
+		StrideH: 1, StrideW: 1, PadH: 2, PadW: 2,
+		N: 1, WordBits: 16,
+	}
+}
+
+// BenchmarkMapperSearch measures one uncached top-k loopnest search on the
+// base architecture (the step-1 hot path of every design-point evaluation).
+func BenchmarkMapperSearch(b *testing.B) {
+	l := benchLayer()
+	spec := arch.Base()
+	req := Request{
+		Layer: &l,
+		PEsX:  spec.PEsX, PEsY: spec.PEsY,
+		GLBBits: spec.GlobalBufferBits(), RFBits: spec.RegFileBits(),
+		EffectiveBytesPerCycle: float64(spec.DRAM.BytesPerCycle),
+		TopK:                   6,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := Search(req); len(got) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

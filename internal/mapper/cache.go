@@ -1,0 +1,178 @@
+package mapper
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"secureloop/internal/workload"
+)
+
+// The search cache memoises SearchCached results across experiments (the
+// same layer shapes recur in every figure's sweep). It is sharded so the
+// parallel design-space sweep and the parallel per-layer scheduling step do
+// not serialize on one mutex, and each shard carries a singleflight table so
+// concurrent requests for the same layer shape run one search and share the
+// result instead of duplicating the work.
+
+type cacheKey struct {
+	layer workload.Layer
+	pesX  int
+	pesY  int
+	glb   int64
+	rf    int64
+	effBW float64
+	topK  int
+}
+
+// numShards bounds lock contention; power of two so the hash mixes cheaply.
+const numShards = 32
+
+type inflightSearch struct {
+	done chan struct{}
+	val  []Candidate
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	entries  map[cacheKey][]Candidate
+	inflight map[cacheKey]*inflightSearch
+}
+
+var (
+	shards [numShards]cacheShard
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	cacheShared atomic.Int64
+)
+
+// shard hashes the key fields (FNV-1a) to pick a shard.
+func (k cacheKey) shard() *cacheShard {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	l := k.layer
+	for _, v := range [...]int{
+		l.C, l.M, l.R, l.S, l.P, l.Q,
+		l.StrideH, l.StrideW, l.PadH, l.PadW, l.N, l.WordBits,
+		k.pesX, k.pesY, k.topK,
+	} {
+		mix(uint64(v))
+	}
+	if l.Depthwise {
+		mix(1)
+	}
+	mix(uint64(k.glb))
+	mix(uint64(k.rf))
+	mix(math.Float64bits(k.effBW))
+	return &shards[h%numShards]
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	// Hits counts requests answered from a completed entry.
+	Hits int64
+	// Misses counts requests that ran a search.
+	Misses int64
+	// Shared counts requests that waited on an identical in-flight search
+	// instead of duplicating it (singleflight coalescing).
+	Shared int64
+	// Entries is the number of distinct cached searches.
+	Entries int64
+}
+
+// CacheStats snapshots the search-cache counters.
+func CacheStats() Stats {
+	s := Stats{
+		Hits:   cacheHits.Load(),
+		Misses: cacheMisses.Load(),
+		Shared: cacheShared.Load(),
+	}
+	for i := range shards {
+		sh := &shards[i]
+		sh.mu.Lock()
+		s.Entries += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// ResetCache drops all cached searches and zeroes the counters (used by
+// benchmarks and tests that need a cold cache).
+func ResetCache() {
+	for i := range shards {
+		sh := &shards[i]
+		sh.mu.Lock()
+		sh.entries = nil
+		sh.mu.Unlock()
+	}
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+	cacheShared.Store(0)
+}
+
+// cacheTopK is the k the cache stores; requests for smaller k slice the
+// cached result, so sweeping k (the paper's Figure 10) costs one search.
+const cacheTopK = 10
+
+// SearchCached is Search with process-wide memoisation. Requests with
+// TopK <= cacheTopK share one cached search; larger requests bypass the
+// prefix optimisation and cache at their own k. Concurrent requests for the
+// same shape coalesce onto a single search.
+func SearchCached(req Request) []Candidate {
+	storeK := cacheTopK
+	if req.TopK > storeK {
+		storeK = req.TopK
+	}
+	key := cacheKey{
+		layer: *req.Layer, pesX: req.PEsX, pesY: req.PEsY,
+		glb: req.GLBBits, rf: req.RFBits,
+		effBW: req.EffectiveBytesPerCycle, topK: storeK,
+	}
+	key.layer.Name = "" // shape-keyed: identical shapes share results
+	sh := key.shard()
+
+	sh.mu.Lock()
+	if got, ok := sh.entries[key]; ok {
+		sh.mu.Unlock()
+		cacheHits.Add(1)
+		return clipTopK(got, req.TopK)
+	}
+	if call, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		cacheShared.Add(1)
+		<-call.done
+		return clipTopK(call.val, req.TopK)
+	}
+	call := &inflightSearch{done: make(chan struct{})}
+	if sh.inflight == nil {
+		sh.inflight = map[cacheKey]*inflightSearch{}
+	}
+	sh.inflight[key] = call
+	sh.mu.Unlock()
+
+	cacheMisses.Add(1)
+	full := req
+	full.TopK = storeK
+	call.val = Search(full)
+
+	sh.mu.Lock()
+	if sh.entries == nil {
+		sh.entries = map[cacheKey][]Candidate{}
+	}
+	sh.entries[key] = call.val
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
+	close(call.done)
+	return clipTopK(call.val, req.TopK)
+}
+
+func clipTopK(got []Candidate, k int) []Candidate {
+	if len(got) > k {
+		got = got[:k]
+	}
+	return got
+}

@@ -149,15 +149,15 @@ func spatialChoices(l *workload.Layer, pesX, pesY int) []spatialChoice {
 }
 
 // spatialFactors picks up to two factors for spreading a bound over an axis
-// of the given size: the largest value <= cap, and the best divisor of the
-// bound <= cap (avoiding padding waste).
-func spatialFactors(bound, cap int) []int {
-	if bound <= 1 || cap <= 1 {
+// of the given size: the largest value <= axis, and the best divisor of the
+// bound <= axis (avoiding padding waste).
+func spatialFactors(bound, axis int) []int {
+	if bound <= 1 || axis <= 1 {
 		return []int{1}
 	}
 	full := bound
-	if full > cap {
-		full = cap
+	if full > axis {
+		full = axis
 	}
 	div := 1
 	for f := full; f >= 1; f-- {
@@ -340,15 +340,32 @@ func scorePermutations(req Request, m *mapping.Mapping, best *topK) {
 // the returned set diverse in *tiling*, which is what the cross-layer
 // AuthBlock costs and therefore the annealing neighbourhood (Section 4.3)
 // actually respond to; for one tiling only its best permutation survives.
+// All ordering ties break on the signature bytes so results are independent
+// of map iteration and offer order.
 type topK struct {
 	k    int
 	best map[string]Candidate
-	// lows tracks the k lowest cycle counts offered (for pruning).
-	lows []int64
+	// lows caches the sorted best cycle counts of the k lowest *distinct*
+	// signatures (rebuilt lazily when dirty). Counting distinct signatures
+	// rather than raw offers matters: repeat offers of one tiling must not
+	// make the pruning threshold look "full" before k tilings exist.
+	lows  []int64
+	dirty bool
 }
 
 func newTopK(k int) *topK {
 	return &topK{k: k, best: map[string]Candidate{}}
+}
+
+// rankLess is the total candidate order: (cycles, off-chip bits, signature).
+func rankLess(aSig string, a Candidate, bSig string, b Candidate) bool {
+	if a.Cycles != b.Cycles {
+		return a.Cycles < b.Cycles
+	}
+	if a.OffchipBits != b.OffchipBits {
+		return a.OffchipBits < b.OffchipBits
+	}
+	return aSig < bSig
 }
 
 // signature captures the DRAM-level tile geometry: GLB tile extents and
@@ -365,41 +382,103 @@ func signature(m *mapping.Mapping) string {
 	return string(b[:])
 }
 
-// kthCycles returns the k-th lowest cycle count seen so far and whether k
-// candidates have been seen yet. Pruning against it never loses the best
-// schedule (a pruned tiling's lower bound exceeds the best seen); it may
-// trim marginal candidates from the tail of the top-k, which is acceptable
-// for a heuristic neighbour set.
+// kthCycles returns the best cycle count of the k-th lowest *distinct*
+// tiling signature seen so far, and whether k distinct signatures exist yet.
+// Pruning against it never loses the best schedule (a pruned tiling's lower
+// bound exceeds the k-th distinct tiling's best), and — unlike counting raw
+// offers — it cannot over-prune before k distinct tilings have been seen.
 func (t *topK) kthCycles() (int64, bool) {
-	if len(t.lows) < t.k {
+	if len(t.best) < t.k {
 		return 0, false
+	}
+	if t.dirty {
+		t.rebuildLows()
 	}
 	return t.lows[t.k-1], true
 }
 
-func (t *topK) offer(c Candidate) {
-	if len(t.lows) < t.k {
+// rebuildLows recomputes the k lowest per-signature best cycle counts. The
+// map is pruned to stay within a small multiple of k, so this is O(k).
+func (t *topK) rebuildLows() {
+	t.lows = t.lows[:0]
+	for _, c := range t.best {
 		t.lows = append(t.lows, c.Cycles)
-		sort.Slice(t.lows, func(i, j int) bool { return t.lows[i] < t.lows[j] })
-	} else if c.Cycles < t.lows[t.k-1] {
-		t.lows[t.k-1] = c.Cycles
-		sort.Slice(t.lows, func(i, j int) bool { return t.lows[i] < t.lows[j] })
 	}
+	sort.Slice(t.lows, func(i, j int) bool { return t.lows[i] < t.lows[j] })
+	if len(t.lows) > t.k {
+		t.lows = t.lows[:t.k]
+	}
+	t.dirty = false
+}
+
+func (t *topK) offer(c Candidate) {
 	key := signature(c.Mapping)
-	if cur, ok := t.best[key]; ok && cur.better(c) {
+	if cur, ok := t.best[key]; ok {
+		if cur.better(c) {
+			return
+		}
+		if c.Cycles < cur.Cycles {
+			t.dirty = true
+		}
+		t.best[key] = c
+		return
+	}
+	// New signature: drop it outright if it cannot rank within the top k.
+	// It may return later only via a strictly better offer, which passes
+	// this gate, so the final top-k is unaffected.
+	if kth, full := t.kthCycles(); full && c.Cycles > kth {
 		return
 	}
 	t.best[key] = c
+	t.dirty = true
+	if len(t.best) > 4*t.k {
+		t.prune()
+	}
+}
+
+// prune shrinks the map to the k best signatures. Dropped signatures rank
+// below k and per-signature bests never worsen, so they could never enter
+// the final top-k with their current candidates.
+func (t *topK) prune() {
+	type entry struct {
+		sig string
+		c   Candidate
+	}
+	all := make([]entry, 0, len(t.best))
+	for sig, c := range t.best {
+		all = append(all, entry{sig, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return rankLess(all[i].sig, all[i].c, all[j].sig, all[j].c)
+	})
+	if len(all) > t.k {
+		all = all[:t.k]
+	}
+	t.best = make(map[string]Candidate, len(all))
+	for _, e := range all {
+		t.best[e.sig] = e.c
+	}
+	t.dirty = true
 }
 
 func (t *topK) sorted() []Candidate {
-	out := make([]Candidate, 0, len(t.best))
-	for _, c := range t.best {
-		out = append(out, c)
+	type entry struct {
+		sig string
+		c   Candidate
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].better(out[j]) })
-	if len(out) > t.k {
-		out = out[:t.k]
+	all := make([]entry, 0, len(t.best))
+	for sig, c := range t.best {
+		all = append(all, entry{sig, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return rankLess(all[i].sig, all[i].c, all[j].sig, all[j].c)
+	})
+	if len(all) > t.k {
+		all = all[:t.k]
+	}
+	out := make([]Candidate, 0, len(all))
+	for _, e := range all {
+		out = append(out, e.c)
 	}
 	return out
 }
@@ -409,56 +488,4 @@ func ceilDiv(a, b int) int {
 		return a
 	}
 	return (a + b - 1) / b
-}
-
-// cache memoises searches across experiments (the same layer shapes recur
-// in every figure's sweep).
-var (
-	cacheMu sync.Mutex
-	cache   = map[cacheKey][]Candidate{}
-)
-
-type cacheKey struct {
-	layer workload.Layer
-	pesX  int
-	pesY  int
-	glb   int64
-	rf    int64
-	effBW float64
-	topK  int
-}
-
-// cacheTopK is the k the cache stores; requests for smaller k slice the
-// cached result, so sweeping k (the paper's Figure 10) costs one search.
-const cacheTopK = 10
-
-// SearchCached is Search with process-wide memoisation. Requests with
-// TopK <= cacheTopK share one cached search; larger requests bypass the
-// prefix optimisation and cache at their own k.
-func SearchCached(req Request) []Candidate {
-	storeK := cacheTopK
-	if req.TopK > storeK {
-		storeK = req.TopK
-	}
-	key := cacheKey{
-		layer: *req.Layer, pesX: req.PEsX, pesY: req.PEsY,
-		glb: req.GLBBits, rf: req.RFBits,
-		effBW: req.EffectiveBytesPerCycle, topK: storeK,
-	}
-	key.layer.Name = "" // shape-keyed: identical shapes share results
-	cacheMu.Lock()
-	got, ok := cache[key]
-	cacheMu.Unlock()
-	if !ok {
-		full := req
-		full.TopK = storeK
-		got = Search(full)
-		cacheMu.Lock()
-		cache[key] = got
-		cacheMu.Unlock()
-	}
-	if len(got) > req.TopK {
-		got = got[:req.TopK]
-	}
-	return got
 }

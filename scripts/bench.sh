@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Runs the three hot-path microbenchmarks (step-1 mapper search, segment
+# annealing, design-space sweep) and emits BENCH_PR1.json with ns/op for
+# each, alongside the pre-optimisation baseline numbers (the serial
+# implementation at the growth seed, measured with the same protocol:
+# -benchtime 5x/50x/5x on an Intel Xeon @ 2.10GHz).
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_PR1.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "running BenchmarkMapperSearch (5x)..." >&2
+go test ./internal/mapper -run '^$' -bench '^BenchmarkMapperSearch$' -benchtime 5x | grep -E '^Benchmark' >>"$tmp"
+echo "running BenchmarkAnnealSegment (50x)..." >&2
+go test ./internal/core -run '^$' -bench '^BenchmarkAnnealSegment$' -benchtime 50x | grep -E '^Benchmark' >>"$tmp"
+echo "running BenchmarkSweepParallel (5x)..." >&2
+go test ./internal/dse -run '^$' -bench '^BenchmarkSweepParallel$' -benchtime 5x | grep -E '^Benchmark' >>"$tmp"
+
+# metric NAME UNIT -> value of the column preceding UNIT on NAME's row.
+metric() {
+	awk -v n="$1" -v m="$2" '$1 ~ "^"n"(-[0-9]+)?$" {
+		for (i = 2; i <= NF; i++) if ($i == m) print $(i-1)
+	}' "$tmp"
+}
+
+mapper_ns="$(metric BenchmarkMapperSearch ns/op)"
+anneal_full_ns="$(metric BenchmarkAnnealSegment/full ns/op)"
+anneal_full_evals="$(metric BenchmarkAnnealSegment/full layer-evals/move)"
+anneal_inc_ns="$(metric BenchmarkAnnealSegment/incremental ns/op)"
+anneal_inc_evals="$(metric BenchmarkAnnealSegment/incremental layer-evals/move)"
+sweep_ns="$(metric BenchmarkSweepParallel ns/op)"
+
+cat >"$OUT" <<EOF
+{
+  "pr": 1,
+  "generated_by": "scripts/bench.sh",
+  "protocol": "go test -bench, -benchtime 5x (mapper, sweep) / 50x (anneal)",
+  "note": "before = serial implementation at the growth seed (commit 06e3dc4), same machine and protocol; after = this run. BenchmarkAnnealSegment/full re-measures the old whole-segment recomputation path inside the new code for the layer-evals comparison.",
+  "benchmarks": {
+    "BenchmarkMapperSearch": {
+      "before_ns_per_op": 505689964,
+      "after_ns_per_op": ${mapper_ns}
+    },
+    "BenchmarkAnnealSegment": {
+      "before_ns_per_op": 2788918,
+      "before_layer_evals_per_move": 5.0,
+      "after_ns_per_op": ${anneal_inc_ns},
+      "after_layer_evals_per_move": ${anneal_inc_evals},
+      "full_recompute_ns_per_op": ${anneal_full_ns},
+      "full_recompute_layer_evals_per_move": ${anneal_full_evals}
+    },
+    "BenchmarkSweepParallel": {
+      "before_ns_per_op": 28189683,
+      "after_ns_per_op": ${sweep_ns}
+    }
+  }
+}
+EOF
+echo "wrote $OUT" >&2
