@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dse [-workload alexnet] [-iters 200] [-pareto-only] [-csv out.csv]
+//	    [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/dse"
+	"secureloop/internal/prof"
 	"secureloop/internal/workload"
 )
 
@@ -26,8 +28,16 @@ func main() {
 		iters        = flag.Int("iters", 200, "annealing iterations per design point")
 		paretoOnly   = flag.Bool("pareto-only", false, "print only the Pareto front")
 		csvPath      = flag.String("csv", "", "write the sweep as CSV")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	net, err := workload.ByName(*workloadName)
 	if err != nil {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-out results] [-cachestats]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -quick trades fidelity for speed (fewer annealing iterations and seeds);
 // use it for smoke runs. The full run regenerates every experiment at
@@ -22,6 +23,7 @@ import (
 	"secureloop/internal/authblock"
 	"secureloop/internal/experiments"
 	"secureloop/internal/mapper"
+	"secureloop/internal/prof"
 )
 
 func main() {
@@ -29,7 +31,15 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity fast run")
 	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
 	cachestats := flag.Bool("cachestats", false, "report cache hit/miss counters after the run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	opts := experiments.Options{Quick: *quick}
 	want := map[string]bool{}

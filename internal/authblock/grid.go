@@ -1,6 +1,10 @@
 package authblock
 
-import "fmt"
+import (
+	"fmt"
+
+	"secureloop/internal/num"
+)
 
 // ProducerGrid describes how a shared tensor (one layer's ofmap) is
 // partitioned into the producer's DRAM tiles. AuthBlocks are laid within
@@ -27,7 +31,7 @@ func Whole(c, h, w int) ProducerGrid {
 
 // Counts returns the tile counts per axis.
 func (p ProducerGrid) Counts() (nc, nh, nw int) {
-	return ceilDiv(p.C, p.TileC), ceilDiv(p.H, p.TileH), ceilDiv(p.W, p.TileW)
+	return num.CeilDiv(p.C, p.TileC), num.CeilDiv(p.H, p.TileH), num.CeilDiv(p.W, p.TileW)
 }
 
 // NumTiles returns the total tile count.

@@ -214,9 +214,3 @@ func SinkCosts(p ProducerGrid, par Params) Costs {
 	}
 }
 
-func ceilDiv(a, b int) int {
-	if b <= 0 {
-		return 0
-	}
-	return (a + b - 1) / b
-}

@@ -36,3 +36,25 @@ func BenchmarkMapperSearch(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMapperSearchReference measures the retained pre-optimisation
+// inner loop (the oracle of TestSearchEquivalence) on the same request, so
+// scripts/bench.sh can record a live before/after pair — time and
+// allocations — on the machine running the script.
+func BenchmarkMapperSearchReference(b *testing.B) {
+	l := benchLayer()
+	spec := arch.Base()
+	req := Request{
+		Layer: &l,
+		PEsX:  spec.PEsX, PEsY: spec.PEsY,
+		GLBBits: spec.GlobalBufferBits(), RFBits: spec.RegFileBits(),
+		EffectiveBytesPerCycle: float64(spec.DRAM.BytesPerCycle),
+		TopK:                   6,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := searchReference(req); len(got) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}

@@ -5,15 +5,27 @@
 // the model's effective-bandwidth cost (Section 4.1) and returns the top-k
 // distinct schedules per layer — the neighbour sets the simulated-annealing
 // step samples from (Section 4.3).
+//
+// The inner loop is the hottest path of the whole tool (it runs once per
+// layer per design point): it mutates one reusable Mapping per worker,
+// derives the permutation-independent cost terms once per tiling
+// (mapping.TilingAnalysis), breaks out of the sorted tile-candidate loops at
+// the first capacity violation (occupancy is monotone in each tile size),
+// and clones a Mapping only when a candidate actually enters the top-k. The
+// pre-optimisation implementation is retained in reference.go as the oracle
+// for the search-equivalence test.
 package mapper
 
 import (
+	"bytes"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
 	"secureloop/internal/mapping"
 	"secureloop/internal/model"
+	"secureloop/internal/num"
 	"secureloop/internal/workload"
 )
 
@@ -55,6 +67,13 @@ type Request struct {
 // result is never empty for a valid layer: a degenerate all-sequential
 // mapping always fits.
 func Search(req Request) []Candidate {
+	return search(req, searchTilings)
+}
+
+// search runs the spatial-choice fan-out with the given per-choice tiling
+// enumerator; Search and searchReference share it so the optimised and
+// reference paths resolve ranking ties identically.
+func search(req Request, tilings func(Request, spatialChoice, *topK)) []Candidate {
 	if req.TopK < 1 {
 		req.TopK = 1
 	}
@@ -72,7 +91,7 @@ func Search(req Request) []Candidate {
 			defer wg.Done()
 			defer func() { <-sem }()
 			part := newTopK(req.TopK)
-			searchTilings(req, sp, part)
+			tilings(req, sp, part)
 			parts[i] = part
 		}(i, sp)
 	}
@@ -172,40 +191,6 @@ func spatialFactors(bound, axis int) []int {
 	return []int{full, div}
 }
 
-// tileCandidates returns candidate GLB tile sizes for a dimension bound:
-// its divisors plus powers of two, capped to a small set.
-func tileCandidates(bound int) []int {
-	if bound <= 1 {
-		return []int{1}
-	}
-	set := map[int]bool{1: true, bound: true}
-	for d := 2; d*d <= bound; d++ {
-		if bound%d == 0 {
-			set[d] = true
-			set[bound/d] = true
-		}
-	}
-	for v := 2; v < bound; v *= 2 {
-		set[v] = true
-	}
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	if len(out) > 12 {
-		// Keep a spread: always 1 and bound, subsample the middle.
-		kept := []int{out[0]}
-		step := float64(len(out)-2) / 10
-		for i := 0; i < 10; i++ {
-			kept = append(kept, out[1+int(float64(i)*step)])
-		}
-		kept = append(kept, out[len(out)-1])
-		out = dedupInts(kept)
-	}
-	return out
-}
-
 func dedupInts(in []int) []int {
 	sort.Ints(in)
 	out := in[:0]
@@ -234,13 +219,13 @@ func baseMapping(l *workload.Layer, sp spatialChoice) *mapping.Mapping {
 	r := mapping.Bound(l, mapping.DimR)
 	s := mapping.Bound(l, mapping.DimS)
 	if sp.dimY == mapping.DimR && sp.fy > 1 {
-		r = ceilDiv(r, sp.fy)
+		r = num.CeilDiv(r, sp.fy)
 	}
 	if sp.dimX == mapping.DimR && sp.fx > 1 {
-		r = ceilDiv(r, sp.fx)
+		r = num.CeilDiv(r, sp.fx)
 	}
 	if sp.dimY == mapping.DimS && sp.fy > 1 {
-		s = ceilDiv(s, sp.fy)
+		s = num.CeilDiv(s, sp.fy)
 	}
 	m.SetFactor(mapping.RF, mapping.DimR, r)
 	m.SetFactor(mapping.RF, mapping.DimS, s)
@@ -249,15 +234,26 @@ func baseMapping(l *workload.Layer, sp spatialChoice) *mapping.Mapping {
 
 // searchTilings enumerates GLB tile sizes for C, M, P, Q on top of the
 // spatial skeleton, prunes by capacity, and scores survivors under a set of
-// loop-permutation heuristics.
+// loop-permutation heuristics. One Mapping is reused for the whole
+// enumeration: setGLBTile writes are per-dimension independent, so mutating
+// the factors in place visits exactly the tilings the reference path builds
+// by cloning.
 func searchTilings(req Request, sp spatialChoice, best *topK) {
 	l := req.Layer
-	skeleton := baseMapping(l, sp)
+	m := baseMapping(l, sp)
 
-	// Cheap lower bound on any permutation's cost: compute cycles (which
-	// are permutation-independent) and the cycles to move each tensor
-	// off-chip at least once. Tilings that cannot beat the current k-th
-	// best under this bound skip permutation scoring entirely.
+	// RF occupancy reads only RF-level factors, which the GLB tiling loop
+	// never touches: one check covers the whole spatial choice.
+	if m.RFBitsUsed(l) > req.RFBits {
+		return
+	}
+
+	// GLB holds full filter extents (independent of the C/M/P/Q loop).
+	setGLBTile(m, l, mapping.DimR, mapping.Bound(l, mapping.DimR))
+	setGLBTile(m, l, mapping.DimS, mapping.Bound(l, mapping.DimS))
+
+	// Tiling-independent traffic lower bound: all data crosses the chip
+	// boundary at least once.
 	minTrafficCycles := int64(float64(l.TotalVolume()*int64(l.WordBits)) / 8 / req.EffectiveBytesPerCycle)
 
 	cs := tileCandidates(mapping.Bound(l, mapping.DimC))
@@ -265,37 +261,82 @@ func searchTilings(req Request, sp spatialChoice, best *topK) {
 	ps := tileCandidates(mapping.Bound(l, mapping.DimP))
 	qs := tileCandidates(mapping.Bound(l, mapping.DimQ))
 
+	// The candidate lists ascend and GLBBitsUsed is monotone nondecreasing
+	// in every tile size (tile extents, and the ifmap halo they induce, only
+	// grow), so a capacity violation ends the innermost axis — and when it
+	// happens at the smallest setting of all inner axes it ends the
+	// enclosing axis too.
 	for _, ct := range cs {
+		setGLBTile(m, l, mapping.DimC, ct)
+		cOverflow := true
 		for _, mt := range ms {
+			setGLBTile(m, l, mapping.DimM, mt)
+			mOverflow := true
 			for _, pt := range ps {
+				setGLBTile(m, l, mapping.DimP, pt)
+				pOverflow := true
 				for _, qt := range qs {
-					m := skeleton.Clone()
-					setGLBTile(m, l, mapping.DimC, ct)
-					setGLBTile(m, l, mapping.DimM, mt)
-					setGLBTile(m, l, mapping.DimP, pt)
 					setGLBTile(m, l, mapping.DimQ, qt)
-					// GLB holds full filter extents.
-					setGLBTile(m, l, mapping.DimR, mapping.Bound(l, mapping.DimR))
-					setGLBTile(m, l, mapping.DimS, mapping.Bound(l, mapping.DimS))
-
 					if m.GLBBitsUsed(l) > req.GLBBits {
-						continue
+						break // larger qt only grows the tiles
 					}
-					if m.RFBitsUsed(l) > req.RFBits {
-						continue
-					}
-					lower := m.TemporalIterations(l)
-					if lower < minTrafficCycles {
-						lower = minTrafficCycles
-					}
-					if kth, full := best.kthCycles(); full && lower > kth {
-						continue
-					}
-					scorePermutations(req, m, best)
+					pOverflow = false
+					scoreTiling(req, m, minTrafficCycles, best)
 				}
+				if pOverflow {
+					break // overflowed at the smallest qt
+				}
+				mOverflow = false
 			}
+			if mOverflow {
+				break // overflowed at the smallest (pt, qt)
+			}
+			cOverflow = false
+		}
+		if cOverflow {
+			break // overflowed at the smallest (mt, pt, qt)
 		}
 	}
+}
+
+// scoreTiling scores the capacity-feasible tiling currently held by m under
+// every permutation heuristic. The tiling is analysed once; each permutation
+// then costs one loop-order traffic product. m is cloned only when a
+// candidate passes the top-k admission gate.
+func scoreTiling(req Request, m *mapping.Mapping, minTrafficCycles int64, best *topK) {
+	l := req.Layer
+	an := m.Analyze(l)
+
+	// Per-tiling lower bound over all permutations: compute cycles plus the
+	// cycles to fetch every distinct tile of every datatype once. Tilings
+	// that cannot beat the current k-th best skip permutation scoring.
+	lower := model.SchedulingCyclesFor(an.Compute, an.MinOffchipElems*int64(l.WordBits), req.EffectiveBytesPerCycle)
+	if lower < minTrafficCycles {
+		lower = minTrafficCycles
+	}
+	if kth, full := best.kthCycles(); full && lower > kth {
+		return
+	}
+
+	// All permutations of one tiling share its signature, so at most one of
+	// them survives in the top-k map. Fold them to a local winner first —
+	// ties go to the later permutation, exactly as sequential offers resolve
+	// them — and pay the admission lookup and mapping copy once.
+	wordBits := int64(l.WordBits)
+	var winCycles, winBits int64
+	var winPerm []mapping.Dim
+	for _, perm := range permHeuristics {
+		bits := an.OffchipElems(perm) * wordBits
+		cycles := model.SchedulingCyclesFor(an.Compute, bits, req.EffectiveBytesPerCycle)
+		if winPerm == nil || cycles < winCycles || (cycles == winCycles && bits <= winBits) {
+			winCycles, winBits, winPerm = cycles, bits, perm
+		}
+	}
+	sig := signature(m)
+	if !best.admit(sig, winCycles, winBits) {
+		return
+	}
+	best.insert(sig, winCycles, winBits, m, winPerm)
 }
 
 // setGLBTile sets the GLB-level factor so that the tile covers `tile`
@@ -305,7 +346,7 @@ func setGLBTile(m *mapping.Mapping, l *workload.Layer, d mapping.Dim, tile int) 
 	if tile < below {
 		tile = below
 	}
-	m.SetFactor(mapping.GLB, d, ceilDiv(tile, below))
+	m.SetFactor(mapping.GLB, d, num.CeilDiv(tile, below))
 }
 
 // permHeuristics are the DRAM-level loop orders tried per tiling, outermost
@@ -323,16 +364,43 @@ var permHeuristics = [][]mapping.Dim{
 	{mapping.DimP, mapping.DimQ, mapping.DimC, mapping.DimM, mapping.DimR, mapping.DimS},
 }
 
-func scorePermutations(req Request, m *mapping.Mapping, best *topK) {
-	l := req.Layer
-	for _, perm := range permHeuristics {
-		mm := m.Clone()
-		mm.PermDRAM = perm
-		mm.PermGLB = perm
-		cycles := model.SchedulingCycles(l, mm, req.EffectiveBytesPerCycle)
-		bits := mm.Offchip(l).TotalElems() * int64(l.WordBits)
-		best.offer(Candidate{Mapping: mm, Cycles: cycles, OffchipBits: bits})
+// sigKey is the DRAM-tiling signature used as the top-k map key. A fixed
+// byte array (unlike the string it replaced) is comparable without any
+// per-offer allocation.
+type sigKey [4 * int(mapping.NumDims)]byte
+
+// signature captures the DRAM-level tile geometry: GLB tile extents and
+// spatial factors per dimension (permutation excluded). Together with the
+// layer it determines the whole pre-permutation mapping, so equal signatures
+// imply interchangeable candidates up to loop order.
+func signature(m *mapping.Mapping) sigKey {
+	var b sigKey
+	for i, d := range mapping.Dims {
+		t := m.TileDim(mapping.GLB, d)
+		b[4*i] = byte(t)
+		b[4*i+1] = byte(t >> 8)
+		b[4*i+2] = byte(m.Factor(mapping.SpatialX, d))
+		b[4*i+3] = byte(m.Factor(mapping.SpatialY, d))
 	}
+	return b
+}
+
+// scoreRef is a top-k map value: the entry's score plus an index into the
+// payload pool. Keeping the 24-byte score in the map (instead of the whole
+// mapping) makes the admission lookup on every offer cheap, while the pool
+// stores mappings by value so no admitted offer ever heap-clones one — the
+// search's former dominant allocation.
+type scoreRef struct {
+	cycles, bits int64
+	idx          int32 // into topK.pool
+}
+
+// payload is a pooled top-k entry body.
+type payload struct {
+	m mapping.Mapping
+	// perm, when non-nil, overrides both PermDRAM and PermGLB of m when the
+	// entry is materialised into a Candidate.
+	perm []mapping.Dim
 }
 
 // topK keeps the best candidate per DRAM-tiling signature and returns the k
@@ -344,7 +412,10 @@ func scorePermutations(req Request, m *mapping.Mapping, best *topK) {
 // of map iteration and offer order.
 type topK struct {
 	k    int
-	best map[string]Candidate
+	best map[sigKey]scoreRef
+	// pool holds entry bodies; replacements overwrite their slot, prune
+	// compacts, so it stays within a small multiple of k.
+	pool []payload
 	// lows caches the sorted best cycle counts of the k lowest *distinct*
 	// signatures (rebuilt lazily when dirty). Counting distinct signatures
 	// rather than raw offers matters: repeat offers of one tiling must not
@@ -354,32 +425,30 @@ type topK struct {
 }
 
 func newTopK(k int) *topK {
-	return &topK{k: k, best: map[string]Candidate{}}
+	return &topK{k: k, best: map[sigKey]scoreRef{}}
+}
+
+// candidate materialises an entry: one Mapping allocation per returned
+// candidate, paid only for the winners rather than per offer.
+func (t *topK) candidate(ref scoreRef) Candidate {
+	p := t.pool[ref.idx]
+	mm := p.m
+	if p.perm != nil {
+		mm.PermDRAM = p.perm
+		mm.PermGLB = p.perm
+	}
+	return Candidate{Mapping: &mm, Cycles: ref.cycles, OffchipBits: ref.bits}
 }
 
 // rankLess is the total candidate order: (cycles, off-chip bits, signature).
-func rankLess(aSig string, a Candidate, bSig string, b Candidate) bool {
-	if a.Cycles != b.Cycles {
-		return a.Cycles < b.Cycles
+func rankLess(aSig sigKey, a scoreRef, bSig sigKey, b scoreRef) bool {
+	if a.cycles != b.cycles {
+		return a.cycles < b.cycles
 	}
-	if a.OffchipBits != b.OffchipBits {
-		return a.OffchipBits < b.OffchipBits
+	if a.bits != b.bits {
+		return a.bits < b.bits
 	}
-	return aSig < bSig
-}
-
-// signature captures the DRAM-level tile geometry: GLB tile extents and
-// spatial factors per dimension (permutation excluded).
-func signature(m *mapping.Mapping) string {
-	var b [4 * int(mapping.NumDims)]byte
-	for i, d := range mapping.Dims {
-		t := m.TileDim(mapping.GLB, d)
-		b[4*i] = byte(t)
-		b[4*i+1] = byte(t >> 8)
-		b[4*i+2] = byte(m.Factor(mapping.SpatialX, d))
-		b[4*i+3] = byte(m.Factor(mapping.SpatialY, d))
-	}
-	return string(b[:])
+	return bytes.Compare(aSig[:], bSig[:]) < 0
 }
 
 // kthCycles returns the best cycle count of the k-th lowest *distinct*
@@ -401,91 +470,113 @@ func (t *topK) kthCycles() (int64, bool) {
 // map is pruned to stay within a small multiple of k, so this is O(k).
 func (t *topK) rebuildLows() {
 	t.lows = t.lows[:0]
-	for _, c := range t.best {
-		t.lows = append(t.lows, c.Cycles)
+	for _, ref := range t.best {
+		t.lows = append(t.lows, ref.cycles)
 	}
-	sort.Slice(t.lows, func(i, j int) bool { return t.lows[i] < t.lows[j] })
+	slices.Sort(t.lows)
 	if len(t.lows) > t.k {
 		t.lows = t.lows[:t.k]
 	}
 	t.dirty = false
 }
 
-func (t *topK) offer(c Candidate) {
-	key := signature(c.Mapping)
-	if cur, ok := t.best[key]; ok {
-		if cur.better(c) {
-			return
-		}
-		if c.Cycles < cur.Cycles {
-			t.dirty = true
-		}
-		t.best[key] = c
-		return
+// admit reports whether a candidate scoring (cycles, bits) under the given
+// signature needs storing; the caller builds the entry body only when it
+// returns true. Unlike offer, a tie against the stored candidate is
+// rejected: a signature determines its pre-permutation mapping and
+// therefore its deterministic fold winner, so an equal-scored re-offer of
+// the same signature is the identical candidate and replacing it is a
+// no-op.
+func (t *topK) admit(sig sigKey, cycles, bits int64) bool {
+	if cur, ok := t.best[sig]; ok {
+		return cycles < cur.cycles || (cycles == cur.cycles && bits < cur.bits)
 	}
 	// New signature: drop it outright if it cannot rank within the top k.
 	// It may return later only via a strictly better offer, which passes
 	// this gate, so the final top-k is unaffected.
-	if kth, full := t.kthCycles(); full && c.Cycles > kth {
+	kth, full := t.kthCycles()
+	return !full || cycles <= kth
+}
+
+// insert stores an admitted entry under its signature. The mapping is
+// copied by value into the pool (reusing a replaced entry's slot), never
+// heap-cloned.
+func (t *topK) insert(sig sigKey, cycles, bits int64, m *mapping.Mapping, perm []mapping.Dim) {
+	if cur, ok := t.best[sig]; ok {
+		if cycles < cur.cycles {
+			t.dirty = true
+		}
+		t.pool[cur.idx] = payload{m: *m, perm: perm}
+		t.best[sig] = scoreRef{cycles: cycles, bits: bits, idx: cur.idx}
 		return
 	}
-	t.best[key] = c
+	t.pool = append(t.pool, payload{m: *m, perm: perm})
+	t.best[sig] = scoreRef{cycles: cycles, bits: bits, idx: int32(len(t.pool) - 1)}
 	t.dirty = true
 	if len(t.best) > 4*t.k {
 		t.prune()
 	}
 }
 
-// prune shrinks the map to the k best signatures. Dropped signatures rank
-// below k and per-signature bests never worsen, so they could never enter
-// the final top-k with their current candidates.
+// offer is the general admission path (reference search, part merging,
+// random search): on a score tie with the stored candidate the later offer
+// wins, matching the historical sequential-offer semantics.
+func (t *topK) offer(c Candidate) {
+	sig := signature(c.Mapping)
+	if cur, ok := t.best[sig]; ok {
+		if cur.cycles < c.Cycles || (cur.cycles == c.Cycles && cur.bits < c.OffchipBits) {
+			return
+		}
+	} else if kth, full := t.kthCycles(); full && c.Cycles > kth {
+		return
+	}
+	t.insert(sig, c.Cycles, c.OffchipBits, c.Mapping, nil)
+}
+
+// prune shrinks the map to the k best signatures and compacts the pool.
+// Dropped signatures rank below k and per-signature bests never worsen, so
+// they could never enter the final top-k with their current candidates.
 func (t *topK) prune() {
-	type entry struct {
-		sig string
-		c   Candidate
-	}
-	all := make([]entry, 0, len(t.best))
-	for sig, c := range t.best {
-		all = append(all, entry{sig, c})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		return rankLess(all[i].sig, all[i].c, all[j].sig, all[j].c)
-	})
+	all := t.rankedEntries()
 	if len(all) > t.k {
 		all = all[:t.k]
 	}
-	t.best = make(map[string]Candidate, len(all))
-	for _, e := range all {
-		t.best[e.sig] = e.c
+	pool := make([]payload, 0, len(all))
+	t.best = make(map[sigKey]scoreRef, len(all))
+	for _, en := range all {
+		pool = append(pool, t.pool[en.ref.idx])
+		en.ref.idx = int32(len(pool) - 1)
+		t.best[en.sig] = en.ref
 	}
+	t.pool = pool
 	t.dirty = true
 }
 
-func (t *topK) sorted() []Candidate {
-	type entry struct {
-		sig string
-		c   Candidate
-	}
-	all := make([]entry, 0, len(t.best))
-	for sig, c := range t.best {
-		all = append(all, entry{sig, c})
+// rankEntry pairs a signature with its score for sorting.
+type rankEntry struct {
+	sig sigKey
+	ref scoreRef
+}
+
+func (t *topK) rankedEntries() []rankEntry {
+	all := make([]rankEntry, 0, len(t.best))
+	for sig, ref := range t.best {
+		all = append(all, rankEntry{sig, ref})
 	}
 	sort.Slice(all, func(i, j int) bool {
-		return rankLess(all[i].sig, all[i].c, all[j].sig, all[j].c)
+		return rankLess(all[i].sig, all[i].ref, all[j].sig, all[j].ref)
 	})
+	return all
+}
+
+func (t *topK) sorted() []Candidate {
+	all := t.rankedEntries()
 	if len(all) > t.k {
 		all = all[:t.k]
 	}
 	out := make([]Candidate, 0, len(all))
-	for _, e := range all {
-		out = append(out, e.c)
+	for _, en := range all {
+		out = append(out, t.candidate(en.ref))
 	}
 	return out
-}
-
-func ceilDiv(a, b int) int {
-	if b <= 0 {
-		return a
-	}
-	return (a + b - 1) / b
 }

@@ -49,7 +49,7 @@ func TestSearchSortedAndDiverse(t *testing.T) {
 	if len(cands) < 2 {
 		t.Fatalf("only %d candidates", len(cands))
 	}
-	seen := map[string]bool{}
+	seen := map[sigKey]bool{}
 	for i, c := range cands {
 		if i > 0 && cands[i-1].Cycles > c.Cycles {
 			t.Error("candidates not sorted by cycles")

@@ -1,0 +1,59 @@
+package mapper
+
+import (
+	"sort"
+	"sync"
+)
+
+// tileCandCache memoises computeTileCandidates per loop bound. The same
+// small set of bounds (layer C/M/P/Q extents) recurs for every spatial
+// choice of every layer of every design point, and the divisor/power-of-two
+// construction is pure, so one process-wide table pays for itself within a
+// single search. sync.Map fits the workload exactly: written once per
+// distinct bound, then read-mostly from many goroutines.
+var tileCandCache sync.Map // int -> []int
+
+// tileCandidates returns candidate GLB tile sizes for a dimension bound,
+// memoised per bound. Callers must treat the returned slice as read-only.
+func tileCandidates(bound int) []int {
+	if v, ok := tileCandCache.Load(bound); ok {
+		return v.([]int)
+	}
+	v, _ := tileCandCache.LoadOrStore(bound, computeTileCandidates(bound))
+	return v.([]int)
+}
+
+// computeTileCandidates builds the candidate set for a dimension bound: its
+// divisors plus powers of two, capped to a small set, sorted ascending (the
+// capacity-pruning breaks in searchTilings rely on the ascending order).
+func computeTileCandidates(bound int) []int {
+	if bound <= 1 {
+		return []int{1}
+	}
+	set := map[int]bool{1: true, bound: true}
+	for d := 2; d*d <= bound; d++ {
+		if bound%d == 0 {
+			set[d] = true
+			set[bound/d] = true
+		}
+	}
+	for v := 2; v < bound; v *= 2 {
+		set[v] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	if len(out) > 12 {
+		// Keep a spread: always 1 and bound, subsample the middle.
+		kept := []int{out[0]}
+		step := float64(len(out)-2) / 10
+		for i := 0; i < 10; i++ {
+			kept = append(kept, out[1+int(float64(i)*step)])
+		}
+		kept = append(kept, out[len(out)-1])
+		out = dedupInts(kept)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package mapping
+
+import (
+	"secureloop/internal/workload"
+)
+
+// TilingAnalysis caches everything about one tiling's DRAM-level behaviour
+// that the loop permutation cannot change: per-dimension DRAM trip counts,
+// per-datatype GLB tile volumes, datatype relevance, and the (also
+// permutation-independent) compute cycles. The mapper's step-1 inner loop
+// scores several loop orders per tiling; deriving these terms once and
+// evaluating OffchipElems per order avoids re-walking the mapping for every
+// permutation and allocates nothing.
+//
+// Soundness: Offchip() depends on the permutation only through the ordered
+// DRAM loop list, whose per-dimension trip counts are OuterCount(GLB, d);
+// tile volumes and TemporalIterations read factors only. OffchipElems
+// rebuilds the identical loop list per order, so for any permutation
+//
+//	a.OffchipElems(perm) == m'.Offchip(layer).TotalElems()
+//
+// where m' is the analysed mapping with PermDRAM = perm (asserted by
+// TestAnalysisMatchesOffchip and the mapper's search-equivalence test).
+type TilingAnalysis struct {
+	// Compute is TemporalIterations: the PE-array busy cycles.
+	Compute int64
+	// MinOffchipElems lower-bounds OffchipElems over every permutation:
+	// each datatype's distinct DRAM tiles cross the chip boundary at least
+	// once (a tile's visit count is a product over a superset of the loops
+	// its distinct-tile count multiplies, and every trip count is >= 1).
+	MinOffchipElems int64
+
+	// outer[d] is the DRAM-level trip count of dimension d.
+	outer [NumDims]int
+	// tileElems[dt] is the element count of datatype dt's GLB tile.
+	tileElems [3]int64
+	// relevant[dt][d] mirrors Relevant(layer, dt, d).
+	relevant [3][NumDims]bool
+}
+
+// Analyze derives the permutation-independent tiling terms for the layer.
+func (m *Mapping) Analyze(layer *workload.Layer) TilingAnalysis {
+	var a TilingAnalysis
+	a.Compute = m.TemporalIterations(layer)
+	for _, d := range Dims {
+		a.outer[d] = m.OuterCount(layer, GLB, d)
+	}
+	for _, dt := range workload.Datatypes {
+		a.tileElems[dt] = m.GLBTileElems(layer, dt)
+		for _, d := range Dims {
+			a.relevant[dt][d] = Relevant(layer, dt, d)
+		}
+	}
+	for _, dt := range workload.Datatypes {
+		nTiles := int64(1)
+		for _, d := range Dims {
+			if a.relevant[dt][d] {
+				nTiles *= int64(a.outer[d])
+			}
+		}
+		a.MinOffchipElems += nTiles * a.tileElems[dt]
+	}
+	return a
+}
+
+// OffchipElems returns the total off-chip element traffic (reads plus
+// writes) the analysed tiling induces under the given DRAM loop order,
+// outermost first — exactly Offchip(layer).TotalElems() of the same mapping
+// with PermDRAM = perm, without touching the heap.
+func (a *TilingAnalysis) OffchipElems(perm []Dim) int64 {
+	// Rebuild the DRAM loop list the way dramLoops does: dimensions missing
+	// from the permutation count as outermost, loops with trip count 1 drop.
+	var loops [NumDims]loop
+	n := 0
+	var inPerm [NumDims]bool
+	for _, d := range perm {
+		inPerm[d] = true
+	}
+	for _, d := range Dims {
+		if !inPerm[d] && a.outer[d] > 1 {
+			loops[n] = loop{dim: d, count: a.outer[d]}
+			n++
+		}
+	}
+	for _, d := range perm {
+		if a.outer[d] > 1 {
+			loops[n] = loop{dim: d, count: a.outer[d]}
+			n++
+		}
+	}
+
+	var total int64
+	for _, dt := range []workload.Datatype{workload.Weight, workload.Ifmap} {
+		total += a.visits(dt, loops[:n]) * a.tileElems[dt]
+	}
+	vOf := a.visits(workload.Ofmap, loops[:n])
+	nOf := int64(1)
+	for i := 0; i < n; i++ {
+		if a.relevant[workload.Ofmap][loops[i].dim] {
+			nOf *= int64(loops[i].count)
+		}
+	}
+	tileOf := a.tileElems[workload.Ofmap]
+	total += vOf * tileOf // writes
+	if vOf > nOf {
+		total += (vOf - nOf) * tileOf // partial-sum re-reads
+	}
+	return total
+}
+
+// visits mirrors the package-level visits over precomputed relevance.
+func (a *TilingAnalysis) visits(dt workload.Datatype, loops []loop) int64 {
+	last := -1
+	for i, lp := range loops {
+		if a.relevant[dt][lp.dim] {
+			last = i
+		}
+	}
+	v := int64(1)
+	for i := 0; i <= last; i++ {
+		v *= int64(loops[i].count)
+	}
+	return v
+}

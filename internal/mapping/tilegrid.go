@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"secureloop/internal/num"
 	"secureloop/internal/workload"
 )
 
@@ -45,9 +46,9 @@ func (m *Mapping) OfmapDRAMTiling(layer *workload.Layer) OfmapTiling {
 	return OfmapTiling{
 		M: layer.M, P: layer.P, Q: layer.Q,
 		MTile: mt, PTile: pt, QTile: qt,
-		MCount:        ceilDiv(layer.M, mt),
-		PCount:        ceilDiv(layer.P, pt),
-		QCount:        ceilDiv(layer.Q, qt),
+		MCount:        num.CeilDiv(layer.M, mt),
+		PCount:        num.CeilDiv(layer.P, pt),
+		QCount:        num.CeilDiv(layer.Q, qt),
 		WritesPerTile: w,
 	}
 }
@@ -134,15 +135,15 @@ func (m *Mapping) IfmapDRAMTiling(layer *workload.Layer) IfmapTiling {
 	return IfmapTiling{
 		Ch: Bound(layer, ch), H: layer.InH(), W: layer.InW(),
 		ChTile:         chTile,
-		ChCount:        ceilDiv(Bound(layer, ch), chTile),
+		ChCount:        num.CeilDiv(Bound(layer, ch), chTile),
 		HWin:           (pt-1)*layer.StrideH + layer.R,
 		WWin:           (qt-1)*layer.StrideW + layer.S,
 		HStep:          pt * layer.StrideH,
 		WStep:          qt * layer.StrideW,
 		OffH:           -layer.PadH,
 		OffW:           -layer.PadW,
-		HCount:         ceilDiv(layer.P, pt),
-		WCount:         ceilDiv(layer.Q, qt),
+		HCount:         num.CeilDiv(layer.P, pt),
+		WCount:         num.CeilDiv(layer.Q, qt),
 		FetchesPerTile: f,
 	}
 }
@@ -176,9 +177,3 @@ func (m *Mapping) WeightDRAMTiling(layer *workload.Layer) WeightTiling {
 	}
 }
 
-func ceilDiv(a, b int) int {
-	if b <= 0 {
-		return 0
-	}
-	return (a + b - 1) / b
-}

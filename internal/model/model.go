@@ -13,6 +13,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/cryptoengine"
 	"secureloop/internal/mapping"
+	"secureloop/internal/num"
 	"secureloop/internal/workload"
 )
 
@@ -126,7 +127,7 @@ func evaluate(layer *workload.Layer, spec *arch.Spec, m *mapping.Mapping, cfg *c
 	s.OffchipBits = s.BaseOffchipBits + ov.Total()
 
 	totalBytes := (s.OffchipBits + 7) / 8
-	s.DRAMCycles = ceilDiv64(totalBytes, int64(spec.DRAM.BytesPerCycle))
+	s.DRAMCycles = num.CeilDiv64(totalBytes, int64(spec.DRAM.BytesPerCycle))
 
 	// Crypto: each datatype's engine group processes that datatype's data
 	// stream (including redundant reads and rehash traffic).
@@ -182,17 +183,20 @@ func evaluate(layer *workload.Layer, spec *arch.Spec, m *mapping.Mapping, cfg *c
 func SchedulingCycles(layer *workload.Layer, m *mapping.Mapping, effectiveBytesPerCycle float64) int64 {
 	compute := m.TemporalIterations(layer)
 	bits := m.Offchip(layer).TotalElems() * int64(layer.WordBits)
-	bytes := float64(bits) / 8
-	dram := int64(math.Ceil(bytes / effectiveBytesPerCycle))
-	if dram > compute {
-		return dram
-	}
-	return compute
+	return SchedulingCyclesFor(compute, bits, effectiveBytesPerCycle)
 }
 
-func ceilDiv64(a, b int64) int64 {
-	if b <= 0 {
-		return 0
+// SchedulingCyclesFor is the permutation-dependent half of SchedulingCycles:
+// given the (tiling-invariant) compute cycles and the off-chip traffic of one
+// loop order, it applies the effective-bandwidth bottleneck. The mapper's
+// hot path derives both inputs from a mapping.TilingAnalysis so that the
+// permutation heuristics share one tiling walk; the arithmetic here is
+// bit-identical to SchedulingCycles.
+func SchedulingCyclesFor(computeCycles, offchipBits int64, effectiveBytesPerCycle float64) int64 {
+	bytes := float64(offchipBits) / 8
+	dram := int64(math.Ceil(bytes / effectiveBytesPerCycle))
+	if dram > computeCycles {
+		return dram
 	}
-	return (a + b - 1) / b
+	return computeCycles
 }

@@ -1,0 +1,23 @@
+// Package num holds tiny shared integer helpers used across the model,
+// mapper and authblock packages. Centralising them fixes a historical
+// inconsistency: the repo once carried four private ceilDiv copies, one of
+// which returned the dividend for a non-positive divisor while the others
+// returned 0.
+package num
+
+// CeilDiv returns ceil(a/b) for positive b and 0 for b <= 0 (a degenerate
+// divisor means "no tiles", never "all of a").
+func CeilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// CeilDiv64 is CeilDiv for int64.
+func CeilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

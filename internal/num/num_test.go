@@ -1,0 +1,27 @@
+package num
+
+import "testing"
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0},
+		{1, 1, 1},
+		{5, 2, 3},
+		{6, 2, 3},
+		{7, 2, 4},
+		{27, 14, 2},
+		{1, 1000, 1},
+		// Degenerate divisors: every caller treats b <= 0 as "no tiles".
+		{5, 0, 0},
+		{5, -3, 0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := CeilDiv64(int64(c.a), int64(c.b)); got != int64(c.want) {
+			t.Errorf("CeilDiv64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package prof wires Go's runtime profilers into the command-line tools.
+// Both cmd/experiments and cmd/dse expose -cpuprofile/-memprofile flags
+// backed by Start; scripts/profile.sh is the one-liner that drives them and
+// opens the result in `go tool pprof`.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a stop
+// function that ends the CPU profile and writes a heap profile to memPath
+// (if non-empty). The heap profile is taken after a GC so it reflects live
+// objects rather than garbage awaiting collection. Call stop exactly once,
+// at the end of a successful run; either path may be empty to skip that
+// profile.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mem profile:", err)
+			}
+		}
+	}, nil
+}

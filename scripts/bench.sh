@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Runs the three hot-path microbenchmarks (step-1 mapper search, segment
-# annealing, design-space sweep) and emits BENCH_PR1.json with ns/op for
-# each, alongside the pre-optimisation baseline numbers (the serial
-# implementation at the growth seed, measured with the same protocol:
-# -benchtime 5x/50x/5x on an Intel Xeon @ 2.10GHz).
+# Runs the hot-path microbenchmarks (step-1 mapper search, segment
+# annealing, design-space sweep) and emits BENCH_PR2.json with ns/op —
+# and, for the mapper, B/op and allocs/op — alongside the baselines:
+# the "before" numbers are the BENCH_PR1.json "after" numbers (the
+# parallel search with clone-per-tiling inner loop), measured with the
+# same protocol (-benchtime 5x/50x/5x on an Intel Xeon @ 2.10GHz).
+# BenchmarkMapperSearchReference additionally re-measures the retained
+# pre-optimisation inner loop live, so the allocation comparison is
+# machine-local rather than historical.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR1.json}"
+OUT="${1:-BENCH_PR2.json}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "running BenchmarkMapperSearch (5x)..." >&2
-go test ./internal/mapper -run '^$' -bench '^BenchmarkMapperSearch$' -benchtime 5x | grep -E '^Benchmark' >>"$tmp"
+echo "running BenchmarkMapperSearch + reference (5x, -benchmem)..." >&2
+go test ./internal/mapper -run '^$' -bench '^BenchmarkMapperSearch(Reference)?$' -benchtime 5x -benchmem | grep -E '^Benchmark' >>"$tmp"
 echo "running BenchmarkAnnealSegment (50x)..." >&2
 go test ./internal/core -run '^$' -bench '^BenchmarkAnnealSegment$' -benchtime 50x | grep -E '^Benchmark' >>"$tmp"
 echo "running BenchmarkSweepParallel (5x)..." >&2
@@ -28,6 +32,11 @@ metric() {
 }
 
 mapper_ns="$(metric BenchmarkMapperSearch ns/op)"
+mapper_bytes="$(metric BenchmarkMapperSearch B/op)"
+mapper_allocs="$(metric BenchmarkMapperSearch allocs/op)"
+ref_ns="$(metric BenchmarkMapperSearchReference ns/op)"
+ref_bytes="$(metric BenchmarkMapperSearchReference B/op)"
+ref_allocs="$(metric BenchmarkMapperSearchReference allocs/op)"
 anneal_full_ns="$(metric BenchmarkAnnealSegment/full ns/op)"
 anneal_full_evals="$(metric BenchmarkAnnealSegment/full layer-evals/move)"
 anneal_inc_ns="$(metric BenchmarkAnnealSegment/incremental ns/op)"
@@ -36,25 +45,30 @@ sweep_ns="$(metric BenchmarkSweepParallel ns/op)"
 
 cat >"$OUT" <<EOF
 {
-  "pr": 1,
+  "pr": 2,
   "generated_by": "scripts/bench.sh",
-  "protocol": "go test -bench, -benchtime 5x (mapper, sweep) / 50x (anneal)",
-  "note": "before = serial implementation at the growth seed (commit 06e3dc4), same machine and protocol; after = this run. BenchmarkAnnealSegment/full re-measures the old whole-segment recomputation path inside the new code for the layer-evals comparison.",
+  "protocol": "go test -bench, -benchtime 5x -benchmem (mapper), 50x (anneal), 5x (sweep)",
+  "note": "before = BENCH_PR1.json after numbers (parallel search, clone-per-tiling inner loop), same machine and protocol; after = this run. The reference_* fields re-measure the retained pre-optimisation inner loop (searchReference, the TestSearchEquivalence oracle) live in this run, giving a machine-local before for time and allocations.",
   "benchmarks": {
     "BenchmarkMapperSearch": {
-      "before_ns_per_op": 505689964,
-      "after_ns_per_op": ${mapper_ns}
+      "before_ns_per_op": 455690259,
+      "after_ns_per_op": ${mapper_ns},
+      "after_bytes_per_op": ${mapper_bytes},
+      "after_allocs_per_op": ${mapper_allocs},
+      "reference_ns_per_op": ${ref_ns},
+      "reference_bytes_per_op": ${ref_bytes},
+      "reference_allocs_per_op": ${ref_allocs}
     },
     "BenchmarkAnnealSegment": {
-      "before_ns_per_op": 2788918,
-      "before_layer_evals_per_move": 5.0,
+      "before_ns_per_op": 844582,
+      "before_layer_evals_per_move": 1.066,
       "after_ns_per_op": ${anneal_inc_ns},
       "after_layer_evals_per_move": ${anneal_inc_evals},
       "full_recompute_ns_per_op": ${anneal_full_ns},
       "full_recompute_layer_evals_per_move": ${anneal_full_evals}
     },
     "BenchmarkSweepParallel": {
-      "before_ns_per_op": 28189683,
+      "before_ns_per_op": 4097044,
       "after_ns_per_op": ${sweep_ns}
     }
   }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Captures CPU and heap profiles from a representative workload and prints
+# the top entries. Two modes:
+#
+#   scripts/profile.sh bench [pkg] [benchmark]   # profile a microbenchmark
+#   scripts/profile.sh run [cmd] [args...]       # profile a binary end-to-end
+#
+# Defaults profile the step-1 mapper search benchmark. Examples:
+#
+#   scripts/profile.sh bench                          # BenchmarkMapperSearch
+#   scripts/profile.sh bench ./internal/core BenchmarkAnnealSegment
+#   scripts/profile.sh run experiments -fig 10 -quick -out ''
+#   scripts/profile.sh run dse -iters 20
+#
+# Profiles land in profiles/; inspect interactively with
+#   go tool pprof profiles/cpu.out
+#   go tool pprof -sample_index=alloc_objects profiles/mem.out
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p profiles
+
+mode="${1:-bench}"
+case "$mode" in
+bench)
+	pkg="${2:-./internal/mapper}"
+	bench="${3:-BenchmarkMapperSearch}"
+	go test "$pkg" -run '^$' -bench "^${bench}\$" -benchtime 5x -benchmem \
+		-cpuprofile profiles/cpu.out -memprofile profiles/mem.out
+	;;
+run)
+	shift
+	cmd="${1:-experiments}"
+	if [ $# -gt 0 ]; then shift; fi
+	go run "./cmd/$cmd" -cpuprofile profiles/cpu.out -memprofile profiles/mem.out "$@"
+	;;
+*)
+	echo "usage: scripts/profile.sh bench [pkg] [benchmark] | run [cmd] [args...]" >&2
+	exit 2
+	;;
+esac
+
+echo >&2
+echo "=== top CPU ===" >&2
+go tool pprof -top -nodecount=15 profiles/cpu.out 2>/dev/null | sed -n '1,22p'
+echo >&2
+echo "=== top allocated objects ===" >&2
+go tool pprof -top -nodecount=15 -sample_index=alloc_objects profiles/mem.out 2>/dev/null | sed -n '1,22p'
+echo >&2
+echo "profiles written to profiles/cpu.out and profiles/mem.out" >&2
