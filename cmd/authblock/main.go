@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"secureloop/internal/authblock"
+	"secureloop/internal/num"
 )
 
 func main() {
@@ -50,7 +51,7 @@ func main() {
 		WinH:  winH, WinW: winW,
 		StepH: stepH, StepW: stepW,
 		OffH: offH, OffW: offW,
-		CountC:         ceil(C, *cch),
+		CountC:         num.CeilDiv(C, *cch),
 		CountH:         countAlong(H, offH, stepH, winH),
 		CountW:         countAlong(W, offW, stepW, winW),
 		FetchesPerTile: 1,
@@ -119,8 +120,6 @@ func countAlong(extent, off, step, win int) int {
 	}
 	return n
 }
-
-func ceil(a, b int) int { return (a + b - 1) / b }
 
 func mustScan(s, format string, args ...interface{}) {
 	if _, err := fmt.Sscanf(s, format, args...); err != nil {

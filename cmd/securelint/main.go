@@ -1,0 +1,94 @@
+// Command securelint runs the repo-specific static-analysis suite over the
+// given package patterns and exits non-zero if any check fires. It is built
+// only on the standard library (go/parser, go/ast, go/types) and enforces
+// the invariants the scheduler's performance work depends on; see DESIGN.md
+// ("Enforced invariants") for the check-by-check rationale.
+//
+// Usage:
+//
+//	securelint [-json] [-tests] [-checks list] [packages]
+//
+//	securelint ./...                  # lint the whole module
+//	securelint -json ./internal/...   # machine-readable findings
+//	securelint -checks ceildiv,mapdet ./internal/mapping
+//
+// Findings print as file:line:col: [check] message. Suppress a documented
+// false positive by placing
+//
+//	//securelint:ignore <check> <reason>
+//
+// on the offending line or the line directly above it.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load/type-check error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"secureloop/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("securelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		tests   = fs.Bool("tests", false, "also lint in-package _test.go files")
+		checks  = fs.String("checks", "", "comma-separated subset of checks (default: all)")
+		list    = fs.Bool("list", false, "list the registered checks and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	res, err := lint.Run(lint.Config{
+		Patterns:     fs.Args(),
+		Checks:       *checks,
+		IncludeTests: *tests,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "securelint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Findings   []lint.Diagnostic `json:"findings"`
+			Suppressed int               `json:"suppressed"`
+			Packages   int               `json:"packages"`
+		}{res.Diags, res.Suppressed, res.Packages}
+		if res.Diags == nil {
+			out.Findings = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "securelint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diags {
+			fmt.Fprintln(stdout, d)
+		}
+		fmt.Fprintf(stdout, "securelint: %d package(s), %d finding(s), %d suppressed\n",
+			res.Packages, len(res.Diags), res.Suppressed)
+	}
+	if len(res.Diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeScratch creates a throwaway package directory with the given source.
+func writeScratch(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const seededViolation = `package scratch
+
+func blocks(total, per int) int {
+	return (total + per - 1) / per
+}
+`
+
+const cleanSource = `package scratch
+
+func blocks(total, per int) int {
+	if per <= 0 {
+		return 0
+	}
+	q := total / per
+	if total%per != 0 {
+		q++
+	}
+	return q
+}
+`
+
+// TestSeededViolationFails is the CI contract: a seeded violation in a
+// scratch package makes securelint exit 1 and name the check.
+func TestSeededViolationFails(t *testing.T) {
+	dir := writeScratch(t, seededViolation)
+	var out, errOut strings.Builder
+	code := run([]string{dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[ceildiv]") {
+		t.Fatalf("output does not name the ceildiv check:\n%s", out.String())
+	}
+}
+
+// TestCleanExitsZero verifies the zero-findings path.
+func TestCleanExitsZero(t *testing.T) {
+	dir := writeScratch(t, cleanSource)
+	var out, errOut strings.Builder
+	code := run([]string{dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s)") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput parses the machine-readable form.
+func TestJSONOutput(t *testing.T) {
+	dir := writeScratch(t, seededViolation)
+	var out, errOut strings.Builder
+	code := run([]string{"-json", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	var got struct {
+		Findings []struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		} `json:"findings"`
+		Suppressed int `json:"suppressed"`
+		Packages   int `json:"packages"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(got.Findings) != 1 || got.Findings[0].Check != "ceildiv" || got.Findings[0].Line != 4 {
+		t.Fatalf("findings = %+v", got.Findings)
+	}
+	if got.Packages != 1 {
+		t.Fatalf("packages = %d, want 1", got.Packages)
+	}
+}
+
+// TestListChecks verifies -list names the full suite.
+func TestListChecks(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"ceildiv", "overflowmul", "mapdet", "lockguard", "floateq"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUsageErrors verifies exit code 2 for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-checks", "nosuch", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown check: exit = %d, want 2", code)
+	}
+	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag: exit = %d, want 2", code)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"secureloop/internal/authblock"
+	"secureloop/internal/num"
 	"secureloop/internal/trace"
 )
 
@@ -49,7 +50,7 @@ func main() {
 	}
 
 	// Producer: generate and write every ofmap tile (encrypt + tag).
-	ref := make([]byte, p.C*p.H*p.W)
+	ref := make([]byte, num.MulInt(num.MulInt(p.C, p.H), p.W))
 	for i := range ref {
 		ref[i] = byte(3*i + 1)
 	}
@@ -71,9 +72,12 @@ func main() {
 	for ic := 0; ic < c.CountC; ic++ {
 		for ih := 0; ih < c.CountH; ih++ {
 			for iw := 0; iw < c.CountW; iw++ {
-				c0, c1 := ic*c.TileC, min(ic*c.TileC+c.TileC, p.C)
-				r0, r1 := clamp(c.OffH+ih*c.StepH, p.H), clamp(c.OffH+ih*c.StepH+c.WinH, p.H)
-				w0, w1 := clamp(c.OffW+iw*c.StepW, p.W), clamp(c.OffW+iw*c.StepW+c.WinW, p.W)
+				c0 := num.MulInt(ic, c.TileC)
+				c1 := min(c0+c.TileC, p.C)
+				rBase := c.OffH + num.MulInt(ih, c.StepH)
+				wBase := c.OffW + num.MulInt(iw, c.StepW)
+				r0, r1 := clamp(rBase, p.H), clamp(rBase+c.WinH, p.H)
+				w0, w1 := clamp(wBase, p.W), clamp(wBase+c.WinW, p.W)
 				got, err := st.ReadRegion(c0, c1, r0, r1, w0, w1)
 				if err != nil {
 					fatal(err)
@@ -109,9 +113,9 @@ func main() {
 }
 
 func writeTile(st *trace.SecureTensor, p authblock.ProducerGrid, ref []byte, ti, tj, tk int) error {
-	c0, r0, w0 := ti*p.TileC, tj*p.TileH, tk*p.TileW
+	c0, r0, w0 := num.MulInt(ti, p.TileC), num.MulInt(tj, p.TileH), num.MulInt(tk, p.TileW)
 	tc, th, tw := min(p.TileC, p.C-c0), min(p.TileH, p.H-r0), min(p.TileW, p.W-w0)
-	tile := make([]byte, tc*th*tw)
+	tile := make([]byte, num.MulInt(num.MulInt(tc, th), tw))
 	for cc := 0; cc < tc; cc++ {
 		for rr := 0; rr < th; rr++ {
 			for ww := 0; ww < tw; ww++ {

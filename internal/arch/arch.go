@@ -9,6 +9,8 @@ package arch
 import (
 	"fmt"
 	"strings"
+
+	"secureloop/internal/num"
 )
 
 // DRAMTech identifies an off-chip memory technology with its sustained
@@ -65,7 +67,7 @@ type Spec struct {
 }
 
 // NumPEs returns the total PE count.
-func (s *Spec) NumPEs() int { return s.PEsX * s.PEsY }
+func (s *Spec) NumPEs() int { return num.MulInt(s.PEsX, s.PEsY) }
 
 // GlobalBufferBits returns the GLB capacity in bits.
 func (s *Spec) GlobalBufferBits() int64 {

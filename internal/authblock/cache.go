@@ -44,12 +44,12 @@ func (k cacheKey) shard() int {
 
 type optShard struct {
 	mu      sync.Mutex
-	entries map[cacheKey]Result
+	entries map[cacheKey]Result // guarded by mu
 }
 
 type tileShard struct {
 	mu      sync.Mutex
-	entries map[cacheKey]tileEntry
+	entries map[cacheKey]tileEntry // guarded by mu
 }
 
 var (

@@ -1,6 +1,10 @@
 package authblock
 
-import "fmt"
+import (
+	"fmt"
+
+	"secureloop/internal/num"
+)
 
 // Orientation selects which tile dimension the flattened AuthBlock runs
 // along fastest. For the paper's 2-D illustrations, AlongQ is "horizontal"
@@ -135,7 +139,9 @@ func CountBoxBlocks(tileC, tileP, tileQ int, b Box, o Orientation, u int) (block
 		if first == prevLast {
 			total--
 		}
-		prevLast = (base + (j1-1)*d2 + runLen - 1) / u64
+		// Block index of the slab's last element: one before the ceiling of
+		// its end offset (floor((x-1)/u) == ceil(x/u)-1 for x > 0).
+		prevLast = num.CeilDiv64(base+(j1-1)*d2+runLen, u64) - 1
 	}
 
 	covered = total * u64

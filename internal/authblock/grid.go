@@ -164,7 +164,7 @@ type axisClass struct {
 func axisDecompose(count, off, step, win, extent, tile int) map[axisClass]int64 {
 	out := make(map[axisClass]int64)
 	for i := 0; i < count; i++ {
-		lo := off + i*step
+		lo := off + num.MulInt(i, step)
 		hi := lo + win
 		if lo < 0 {
 			lo = 0
@@ -177,7 +177,7 @@ func axisDecompose(count, off, step, win, extent, tile int) map[axisClass]int64 
 		}
 		for x := lo; x < hi; {
 			tIdx := x / tile
-			tLo := tIdx * tile
+			tLo := num.MulInt(tIdx, tile)
 			tHi := tLo + tile
 			if tHi > extent {
 				tHi = extent
@@ -209,7 +209,7 @@ func (p ProducerGrid) HashWriteBits(u int, par Params) int64 {
 	var blocks int64
 	forEachTileClass(p, func(tc, th, tw int, mult int64) {
 		flat := int64(tc) * int64(th) * int64(tw)
-		blocks += mult * ((flat + int64(u) - 1) / int64(u))
+		blocks += mult * num.CeilDiv64(flat, int64(u))
 	})
 	return blocks * p.WritesPerTile * int64(par.HashBits)
 }
@@ -223,7 +223,7 @@ func forEachTileClass(p ProducerGrid, fn func(tc, th, tw int, mult int64)) {
 		if full > 0 {
 			out = append(out, [2]int{tile, full})
 		}
-		if rem := extent - full*tile; rem > 0 {
+		if rem := extent % tile; rem > 0 {
 			out = append(out, [2]int{rem, 1})
 		}
 		return out
@@ -282,7 +282,7 @@ func consumerFootprintBits(p ProducerGrid, c ConsumerGrid, par Params) int64 {
 func clippedSpanSum(count, off, step, win, extent int) int64 {
 	var s int64
 	for i := 0; i < count; i++ {
-		lo := off + i*step
+		lo := off + num.MulInt(i, step)
 		hi := lo + win
 		if lo < 0 {
 			lo = 0

@@ -2,6 +2,8 @@ package authblock
 
 import (
 	"sort"
+
+	"secureloop/internal/num"
 )
 
 // Assignment is one AuthBlock regime for a tensor: blocks of U elements in
@@ -25,7 +27,7 @@ type Result struct {
 // eliminate redundant reads periodically), and row-multiples tied to the
 // per-axis misalignment offsets.
 func CandidateSizes(p ProducerGrid, c ConsumerGrid) []int {
-	flat := p.TileC * p.TileH * p.TileW
+	flat := num.MulInt(num.MulInt(p.TileC, p.TileH), p.TileW)
 	set := map[int]bool{1: true, flat: true}
 	add := func(v int) {
 		if v >= 1 && v <= flat {
@@ -42,7 +44,7 @@ func CandidateSizes(p ProducerGrid, c ConsumerGrid) []int {
 		if n <= 0 {
 			return
 		}
-		for d := 1; d*d <= n; d++ {
+		for d := 1; d <= n/d; d++ {
 			if n%d == 0 {
 				add(d)
 				add(n / d)
@@ -50,15 +52,23 @@ func CandidateSizes(p ProducerGrid, c ConsumerGrid) []int {
 		}
 	}
 	addDivisors(p.TileW)
-	addDivisors(p.TileH * p.TileW)
+	addDivisors(num.MulInt(p.TileH, p.TileW))
 	addDivisors(flat)
 	// Misalignment-derived sizes: the paper's example shows zero-redundancy
 	// points at factors of h*(wi-wj); offsets between consumer windows and
-	// producer tile boundaries generate the analogous values here.
+	// producer tile boundaries generate the analogous values here. rows maps
+	// a (possibly negative) row count to whole rows of elements; non-positive
+	// counts yield 0, which the off > 0 filter below discards.
+	rows := func(h int) int {
+		if h <= 0 {
+			return 0
+		}
+		return num.MulInt(h, p.TileW)
+	}
 	for _, off := range []int{
 		p.TileW - c.WinW, p.TileW - c.StepW, c.StepW, c.WinW,
-		(p.TileH - c.WinH) * p.TileW, (p.TileH - c.StepH) * p.TileW,
-		c.StepH * p.TileW, c.WinH * p.TileW,
+		rows(p.TileH - c.WinH), rows(p.TileH - c.StepH),
+		rows(c.StepH), rows(c.WinH),
 	} {
 		if off > 0 {
 			add(off)

@@ -9,6 +9,7 @@ import (
 	"secureloop/internal/authblock"
 	"secureloop/internal/mapper"
 	"secureloop/internal/model"
+	"secureloop/internal/num"
 	"secureloop/internal/workload"
 )
 
@@ -100,7 +101,7 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 				continue
 			}
 			opts := s.Anneal
-			opts.Iterations = s.Anneal.Iterations * len(seg) / tunable
+			opts.Iterations = int(num.MulInt64(int64(s.Anneal.Iterations), int64(len(seg))) / int64(tunable))
 			if opts.Iterations < 30 {
 				opts.Iterations = 30
 			}
@@ -180,7 +181,7 @@ func (r *run) pairCosts(a, b, ca, cb int) (authblock.Costs, authblock.Assignment
 	var assign authblock.Assignment
 	if r.alg == CryptTileSingle {
 		costs, _ = authblock.TileAsAuthBlockCached(p, c, r.s.Params)
-		assign = authblock.Assignment{Orientation: authblock.AlongQ, U: p.TileC * p.TileH * p.TileW}
+		assign = authblock.Assignment{Orientation: authblock.AlongQ, U: num.MulInt(num.MulInt(p.TileC, p.TileH), p.TileW)}
 	} else {
 		res := authblock.OptimalCached(p, c, r.s.Params)
 		costs, assign = res.Costs, res.Assignment

@@ -11,7 +11,11 @@
 // for the design-space study.
 package cryptoengine
 
-import "fmt"
+import (
+	"fmt"
+
+	"secureloop/internal/num"
+)
 
 // BlockBytes is the AES block size the engines operate on.
 const BlockBytes = 16
@@ -161,8 +165,8 @@ func (c Config) CyclesForBytes(n int64) int64 {
 	if n <= 0 {
 		return 0
 	}
-	blocks := (n + BlockBytes - 1) / BlockBytes
-	perEngine := (blocks + int64(c.CountPerDatatype) - 1) / int64(c.CountPerDatatype)
+	blocks := num.CeilDiv64(n, BlockBytes)
+	perEngine := num.CeilDiv64(blocks, int64(c.CountPerDatatype))
 	return perEngine * int64(c.Engine.CyclesPerBlock())
 }
 
@@ -171,7 +175,7 @@ func (c Config) EnergyForBytesPJ(n int64) float64 {
 	if n <= 0 {
 		return 0
 	}
-	blocks := (n + BlockBytes - 1) / BlockBytes
+	blocks := num.CeilDiv64(n, BlockBytes)
 	return float64(blocks) * c.Engine.EnergyPerBlockPJ()
 }
 

@@ -15,6 +15,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/cryptoengine"
+	"secureloop/internal/num"
 	"secureloop/internal/workload"
 )
 
@@ -146,7 +147,7 @@ func SweepOpts(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.
 	sem := make(chan struct{}, workers)
 	for si := range specs {
 		for ci := range cryptos {
-			idx := si*len(cryptos) + ci
+			idx := num.MulInt(si, len(cryptos)) + ci
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(si, ci, idx int) {
@@ -220,6 +221,7 @@ func MarkPareto(points []DesignPoint) {
 	}
 	sort.Slice(idx, func(a, b int) bool {
 		pa, pb := points[idx[a]], points[idx[b]]
+		//securelint:ignore floateq lexicographic sort key over stored area values; ties fall through to the cycle comparison, so exact equality is the intended semantics and no computed noise is involved
 		if pa.AreaMM2 != pb.AreaMM2 {
 			return pa.AreaMM2 < pb.AreaMM2
 		}

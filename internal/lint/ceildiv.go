@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerCeilDiv flags hand-rolled ceiling division. The repo once carried
+// four private ceilDiv copies with diverging degenerate-divisor behaviour
+// (one returned the dividend for b <= 0, the rest returned 0); the analytical
+// AuthBlock and traffic counting depends on every ceiling division agreeing,
+// so the only allowed implementation lives in internal/num.
+var AnalyzerCeilDiv = &Analyzer{
+	Name: "ceildiv",
+	Doc: "flags hand-rolled (a+b-1)/b ceiling division outside internal/num; " +
+		"use num.CeilDiv / num.CeilDiv64 so the degenerate-divisor policy stays uniform",
+	Run: runCeilDiv,
+}
+
+func runCeilDiv(pass *Pass) {
+	// internal/num is the one place allowed to spell the idiom out.
+	if strings.HasSuffix(pass.Path, "internal/num") {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			div, ok := n.(*ast.BinaryExpr)
+			if !ok || div.Op != token.QUO {
+				return true
+			}
+			den := types.ExprString(unparen(div.Y))
+			for _, cand := range ceilDivAddends(unparen(div.X)) {
+				if types.ExprString(cand) == den {
+					pass.Reportf(div.Pos(),
+						"hand-rolled ceiling division (a + %s - 1) / %s; use num.CeilDiv or num.CeilDiv64",
+						den, den)
+					return true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// ceilDivAddends returns the candidate divisor sub-expressions b of a
+// numerator shaped like a+b-1 (also matching a+(b-1) and (b-1)+a).
+func ceilDivAddends(num ast.Expr) []ast.Expr {
+	var out []ast.Expr
+	switch e := num.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.SUB:
+			// a + b - 1: rightmost addend of the left ADD chain is b.
+			if isIntLit(e.Y, "1") {
+				if add, ok := unparen(e.X).(*ast.BinaryExpr); ok && add.Op == token.ADD {
+					out = append(out, unparen(add.Y))
+				}
+			}
+		case token.ADD:
+			// a + (b - 1) or (b - 1) + a.
+			for _, side := range [2]ast.Expr{e.X, e.Y} {
+				if sub, ok := unparen(side).(*ast.BinaryExpr); ok && sub.Op == token.SUB && isIntLit(sub.Y, "1") {
+					out = append(out, unparen(sub.X))
+				}
+			}
+		}
+	}
+	return out
+}
+
+func isIntLit(e ast.Expr, lit string) bool {
+	bl, ok := unparen(e).(*ast.BasicLit)
+	return ok && bl.Kind == token.INT && bl.Value == lit
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerFloatEq flags == and != between floating-point expressions.
+// Cost and energy values (EDP, pJ, effective bandwidth) are floats; exact
+// equality on them makes annealing acceptance and top-k tie-breaks depend
+// on rounding noise, which silently breaks the deterministic-result and
+// monotone-pruning guarantees. Compare with an epsilon, or restructure the
+// score to integers (as the mapper's cycles/bits ranking does). The x != x
+// NaN test is recognised and allowed.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags ==/!= on floating-point operands in cost/energy code; exact float " +
+		"equality makes annealing acceptance and tie-breaks depend on rounding noise",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, cmp.X) && !isFloat(pass, cmp.Y) {
+				return true
+			}
+			// x != x is the idiomatic NaN check.
+			if cmp.Op == token.NEQ && types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.Pos(),
+				"float equality %s; compare with an epsilon or restructure the score to integers",
+				types.ExprString(cmp))
+			return true
+		})
+	}
+}
+
+func isFloat(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

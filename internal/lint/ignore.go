@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses a finding.
+const ignoreDirective = "securelint:ignore"
+
+// ignoreIndex records, per file and line, which checks are suppressed there.
+// A directive suppresses findings on its own line (trailing comment) and on
+// the line directly below it (directive placed above the statement).
+type ignoreIndex map[string]map[int][]string
+
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	idx := ignoreIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
+				if len(fields) == 0 {
+					continue // malformed: no check named
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = map[int][]string{}
+					idx[pos.Filename] = byLine
+				}
+				for _, check := range strings.Split(fields[0], ",") {
+					if check = strings.TrimSpace(check); check != "" {
+						byLine[pos.Line] = append(byLine[pos.Line], check)
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// matches reports whether a finding of the named check at position p is
+// suppressed by a directive on the same or the preceding line.
+func (idx ignoreIndex) matches(check string, p token.Position) bool {
+	byLine := idx[p.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		for _, c := range byLine[line] {
+			if c == check || c == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}

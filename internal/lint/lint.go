@@ -1,0 +1,215 @@
+// Package lint implements securelint, the repo-specific static-analysis
+// suite behind cmd/securelint. It is built only on the standard library
+// (go/parser, go/ast, go/types): packages are parsed and type-checked from
+// source, a small analyzer framework runs repo-specific checks over them,
+// and findings are reported with positions, a suppression directive and
+// text or JSON output.
+//
+// The checks exist because the scheduler's performance work (PR 1/PR 2)
+// leans on repo-wide invariants that ordinary tests cannot see eroding:
+// byte-identical deterministic results under parallelism, int64-safe
+// tile-volume arithmetic, centralised ceiling division, and lock discipline
+// in the sharded caches. Each analyzer guards one of those invariants; see
+// DESIGN.md ("Enforced invariants") for the full mapping.
+//
+// Suppression: a finding is suppressed by the directive
+//
+//	//securelint:ignore <check> <reason>
+//
+// placed either at the end of the offending line or on the line directly
+// above it. The check name must match the analyzer (comma-separate several),
+// and the reason is required documentation for the next reader, not parsed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one registered check.
+type Analyzer struct {
+	// Name is the check name used on the command line and in the
+	// //securelint:ignore directive.
+	Name string
+	// Doc is a one-paragraph description of the invariant the check guards.
+	Doc string
+	// Run reports findings on one type-checked package via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Path is the package's import path (fixture packages use their
+	// directory name).
+	Path   string
+	Pkg    *types.Package
+	Info   *types.Info
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// TypeOf returns the type of expression e, or nil if unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCeilDiv,
+		AnalyzerOverflowMul,
+		AnalyzerMapDet,
+		AnalyzerLockGuard,
+		AnalyzerFloatEq,
+	}
+}
+
+// ByName resolves a comma-separated check list ("" or "all" selects every
+// analyzer).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" || names == "all" {
+		return Analyzers(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Config configures one lint run.
+type Config struct {
+	// Dir is the directory patterns are resolved against (default ".").
+	Dir string
+	// Patterns are package patterns: a directory, or a directory followed
+	// by "/..." for a recursive walk (default "./...").
+	Patterns []string
+	// Checks selects a comma-separated subset of analyzers ("" = all).
+	Checks string
+	// IncludeTests also lints in-package _test.go files.
+	IncludeTests bool
+}
+
+// Result is the outcome of a lint run.
+type Result struct {
+	// Diags are the unsuppressed findings, sorted by position.
+	Diags []Diagnostic
+	// Suppressed counts findings silenced by //securelint:ignore.
+	Suppressed int
+	// Packages counts the packages analyzed.
+	Packages int
+}
+
+// Run loads the packages matching cfg and runs the selected analyzers.
+func Run(cfg Config) (*Result, error) {
+	checks, err := ByName(cfg.Checks)
+	if err != nil {
+		return nil, err
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld, err := newLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(dir, patterns, cfg.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, d := range dirs {
+		pkg, err := ld.loadRoot(d, cfg.IncludeTests)
+		if err != nil {
+			return nil, err
+		}
+		res.Packages++
+		diags, suppressed := RunAnalyzers(pkg, checks)
+		res.Diags = append(res.Diags, diags...)
+		res.Suppressed += suppressed
+	}
+	sortDiags(res.Diags)
+	return res, nil
+}
+
+// RunAnalyzers runs the given checks over one loaded package, applying the
+// suppression directives found in its files.
+func RunAnalyzers(pkg *Package, checks []*Analyzer) (diags []Diagnostic, suppressed int) {
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	for _, a := range checks {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Path:  pkg.Path,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+		}
+		pass.report = func(pos token.Pos, msg string) {
+			p := pkg.Fset.Position(pos)
+			if ignores.matches(a.Name, p) {
+				suppressed++
+				return
+			}
+			diags = append(diags, Diagnostic{
+				File: p.Filename, Line: p.Line, Col: p.Column,
+				Check: a.Name, Message: msg,
+			})
+		}
+		a.Run(pass)
+	}
+	sortDiags(diags)
+	return diags, suppressed
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}

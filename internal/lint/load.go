@@ -1,0 +1,268 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analysis.
+type Package struct {
+	// Path is the import path (or, for packages outside a module, the
+	// directory name).
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader parses and type-checks packages from source. Module-local imports
+// are resolved against the enclosing go.mod; everything else is handed to
+// the standard library's source importer (which finds it in GOROOT), so the
+// tool works with zero dependencies beyond the Go distribution itself.
+type loader struct {
+	fset       *token.FileSet
+	moduleDir  string // "" when linting outside a module (fixtures)
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package // memo for module-local imports (no test files)
+	loading    map[string]bool     // import-cycle guard
+}
+
+func newLoader(dir string) (*loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir, modPath := findModule(abs)
+	fset := token.NewFileSet()
+	return &loader{
+		fset:       fset,
+		moduleDir:  modDir,
+		modulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// findModule walks up from dir looking for a go.mod and returns the module
+// root and module path ("", "" if none).
+func findModule(dir string) (string, string) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest)
+				}
+			}
+			return d, ""
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", ""
+		}
+		d = parent
+	}
+}
+
+// importPathFor maps a directory to its import path within the module, or
+// the base name when outside one (fixture packages).
+func (l *loader) importPathFor(dir string) string {
+	if l.moduleDir != "" {
+		if rel, err := filepath.Rel(l.moduleDir, dir); err == nil && !strings.HasPrefix(rel, "..") {
+			if rel == "." {
+				return l.modulePath
+			}
+			return l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+	}
+	return filepath.Base(dir)
+}
+
+// Import implements types.Importer for the type-checker: module-local paths
+// load recursively from source, the rest goes to the GOROOT source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.moduleDir != "" && (path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+		pkg, err := l.load(filepath.Join(l.moduleDir, filepath.FromSlash(rel)), path, false)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadRoot loads a directory the user asked to lint.
+func (l *loader) loadRoot(dir string, includeTests bool) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return l.load(abs, l.importPathFor(abs), includeTests)
+}
+
+func (l *loader) load(dir, path string, includeTests bool) (*Package, error) {
+	// Imports never include test files, so the memo only serves those.
+	if !includeTests {
+		if pkg, ok := l.pkgs[path]; ok {
+			return pkg, nil
+		}
+		if l.loading[path] {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		l.loading[path] = true
+		defer delete(l.loading, path)
+	}
+
+	names, err := goFileNames(dir, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		// Skip external test packages (package foo_test): they are a
+		// different package and would clash with the primary one.
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no lintable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %w (%d errors)", path, typeErrs[0], len(typeErrs))
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	if !includeTests {
+		l.pkgs[path] = pkg
+	}
+	return pkg, nil
+}
+
+// goFileNames lists the .go files of dir, sorted, excluding _test.go files
+// unless includeTests.
+func goFileNames(dir string, includeTests bool) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !includeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// expandPatterns resolves package patterns ("dir" or "dir/...") into the
+// sorted list of package directories to lint. Walks skip testdata, vendor,
+// hidden and underscore directories, matching the go tool's conventions.
+func expandPatterns(base string, patterns []string, includeTests bool) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	join := func(p string) string {
+		if filepath.IsAbs(p) {
+			return filepath.Clean(p)
+		}
+		return filepath.Join(base, p)
+	}
+	add := func(dir string) error {
+		ok, err := hasGoFiles(dir, includeTests)
+		if err != nil {
+			return err
+		}
+		if ok && !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+		return nil
+	}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "..."); ok {
+			root := join(filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			if rest == "" {
+				root = base
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				return add(path)
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := add(join(filepath.FromSlash(p))); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string, includeTests bool) (bool, error) {
+	if _, err := os.Stat(dir); err != nil {
+		return false, err
+	}
+	names, err := goFileNames(dir, includeTests)
+	if err != nil {
+		return false, err
+	}
+	return len(names) > 0, nil
+}

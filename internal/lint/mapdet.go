@@ -1,0 +1,257 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AnalyzerMapDet flags map iterations whose bodies are sensitive to Go's
+// randomized map order. The scheduler's parallel == serial guarantee
+// (internal/core, internal/dse: byte-identical results regardless of worker
+// count, asserted by the determinism tests) only holds if no result ever
+// flows through an unordered map walk. Commutative folds (x += ..., x++,
+// bitwise op-assigns) are allowed; appends, plain assignments to outer
+// variables, indexed/field writes and output or top-k feeding calls are
+// flagged. The collect-then-sort idiom — appending keys and sorting the
+// slice in a following statement — is recognised and allowed.
+var AnalyzerMapDet = &Analyzer{
+	Name: "mapdet",
+	Doc: "flags order-sensitive operations (append, plain assignment, indexed writes, " +
+		"output/top-k calls) inside for-range over a map; the parallel==serial determinism " +
+		"guarantee depends on no result flowing through an unordered map walk",
+	Run: runMapDet,
+}
+
+func runMapDet(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			for i, s := range stmts {
+				rng, ok := s.(*ast.RangeStmt)
+				if !ok || !isMapType(pass, rng.X) {
+					continue
+				}
+				checkMapRangeBody(pass, rng, stmts[i+1:])
+			}
+			return true
+		})
+	}
+}
+
+// stmtList extracts the statement list of any node that carries one, so
+// range statements are found with their trailing siblings (needed for the
+// sort-after idiom) wherever they appear.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMapType(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	body := rng.Body
+	type finding struct {
+		pos token.Pos
+		msg string
+	}
+	var findings []finding
+	appended := map[string]token.Pos{} // outer slices appended to, name -> first pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lhs = unparen(lhs)
+				lhsStr := types.ExprString(lhs)
+				// x = append(x, ...) is the collect idiom; defer judgement
+				// until we know whether x is sorted afterwards.
+				if n.Tok == token.ASSIGN && len(n.Rhs) == len(n.Lhs) &&
+					isAppendTo(n.Rhs[i], lhsStr) && writesOutsideLoop(pass, lhs, body) {
+					if _, ok := appended[lhsStr]; !ok {
+						appended[lhsStr] = n.Pos()
+					}
+					continue
+				}
+				switch l := lhs.(type) {
+				case *ast.Ident:
+					// := declares loop-locals; op-assigns (+=, *=, |=, ...)
+					// are commutative folds: both allowed.
+					if l.Name == "_" || !declaredOutside(pass, l, body) {
+						continue
+					}
+					if n.Tok == token.ASSIGN {
+						findings = append(findings, finding{n.Pos(),
+							"assigns " + l.Name + " during map iteration; last-writer-wins depends on map order"})
+					}
+				case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+					// m[k] = v into a map with the key derived from the range
+					// variables writes a distinct entry per iteration — order
+					// cannot leak. Slice writes stay flagged: distinct indices
+					// are not guaranteed and iteration order reaches memory.
+					if ix, ok := l.(*ast.IndexExpr); ok &&
+						isMapType(pass, ix.X) && usesRangeVar(pass, ix.Index, rng) {
+						continue
+					}
+					if writesOutsideLoop(pass, l, body) {
+						findings = append(findings, finding{n.Pos(),
+							"writes " + lhsStr + " during map iteration; map order may leak into results"})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if name, bad := orderSensitiveCall(n); bad {
+				findings = append(findings, finding{n.Pos(),
+					"calls " + name + " during map iteration; output or top-k feed depends on map order"})
+			}
+		}
+		return true
+	})
+
+	// The collect-then-sort idiom: every appended slice must be sorted (or
+	// handed to sort.Slice/slices.Sort*) in a following sibling statement.
+	names := make([]string, 0, len(appended))
+	for name := range appended {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !sortedAfter(rest, name) {
+			findings = append(findings, finding{appended[name],
+				"appends to " + name + " during map iteration without sorting it afterwards; " +
+					"iterate sorted keys or sort the slice before use"})
+		}
+	}
+
+	for _, f := range findings {
+		pass.Reportf(f.pos, "%s", f.msg)
+	}
+}
+
+// usesRangeVar reports whether e references the key or value variable of
+// the range statement.
+func usesRangeVar(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	vars := map[types.Object]bool{}
+	for _, v := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && vars[pass.Info.ObjectOf(id)] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredOutside reports whether ident resolves to an object declared
+// outside the loop body (package-level or in an enclosing scope).
+func declaredOutside(pass *Pass, id *ast.Ident, body *ast.BlockStmt) bool {
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}
+
+// writesOutsideLoop reports whether the written lvalue is rooted at a
+// variable declared outside the loop body.
+func writesOutsideLoop(pass *Pass, e ast.Expr, body *ast.BlockStmt) bool {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return declaredOutside(pass, x, body)
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func isAppendTo(rhs ast.Expr, lhsStr string) bool {
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	return types.ExprString(unparen(call.Args[0])) == lhsStr
+}
+
+// orderSensitiveCall reports calls that publish data in iteration order:
+// printing/writing helpers and top-k/accumulator feeds.
+func orderSensitiveCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	switch {
+	case strings.HasPrefix(name, "Print"), strings.HasPrefix(name, "Fprint"),
+		strings.HasPrefix(name, "Write"):
+		return types.ExprString(sel), true
+	case name == "Insert" || name == "Push" || name == "Offer" || name == "Admit":
+		return types.ExprString(sel), true
+	}
+	return "", false
+}
+
+// sortedAfter reports whether a following sibling statement sorts the named
+// slice (sort.X(name, ...), slices.Sort*(name, ...)).
+func sortedAfter(rest []ast.Stmt, name string) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := unparen(sel.X).(*ast.Ident)
+			if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if types.ExprString(unparen(arg)) == name {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerOverflowMul flags products computed in raw int. The tile-volume
+// and traffic arithmetic (internal/mapping, internal/authblock) multiplies
+// dimension, tile and loop-count quantities; on a 32-bit int a product of
+// two plausible layer dimensions silently wraps, corrupting the analytical
+// counting SecureLoop substitutes for simulation. Products of such
+// quantities must be widened to int64 first (or go through the checked
+// num.MulInt64). Exempt:
+//
+//   - products with a constant operand (small fixed scalings);
+//   - products inside a slice/array index — the indexed slice bounds-checks
+//     the value at runtime, and the allocation that sized the slice is where
+//     the volume math must be safe (that site is still flagged);
+//   - products of two len/cap results, which count already-materialised
+//     elements.
+var AnalyzerOverflowMul = &Analyzer{
+	Name: "overflowmul",
+	Doc: "flags a*b performed in raw int with both operands non-constant; " +
+		"widen to int64 (num.MulInt64) so dimension/tile/loop-count products cannot wrap on 32-bit int",
+	Run: runOverflowMul,
+}
+
+func runOverflowMul(pass *Pass) {
+	for _, f := range pass.Files {
+		skip := indexedRanges(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			mul, ok := n.(*ast.BinaryExpr)
+			if !ok || mul.Op != token.MUL {
+				return true
+			}
+			if !isRawInt(pass, mul) || isConstExpr(pass, mul.X) || isConstExpr(pass, mul.Y) {
+				return true
+			}
+			if skip.contains(mul.Pos()) || (isLenCap(pass, mul.X) && isLenCap(pass, mul.Y)) {
+				return true
+			}
+			pass.Reportf(mul.Pos(),
+				"int product %s may overflow 32-bit int; widen operands to int64 or use num.MulInt64",
+				types.ExprString(mul))
+			return true
+		})
+	}
+}
+
+// posRanges is a set of source ranges, used to exempt index subtrees.
+type posRanges []struct{ lo, hi token.Pos }
+
+func (r posRanges) contains(p token.Pos) bool {
+	for _, rng := range r {
+		if rng.lo <= p && p < rng.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// indexedRanges collects the source ranges of slice/array index expressions.
+func indexedRanges(pass *Pass, f *ast.File) posRanges {
+	var out posRanges
+	ast.Inspect(f, func(n ast.Node) bool {
+		ix, ok := n.(*ast.IndexExpr)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(ix.X)
+		if t == nil {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array:
+			out = append(out, struct{ lo, hi token.Pos }{ix.Index.Pos(), ix.Index.End()})
+		}
+		return true
+	})
+	return out
+}
+
+// isLenCap reports whether e is a call to builtin len or cap.
+func isLenCap(pass *Pass, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || (id.Name != "len" && id.Name != "cap") {
+		return false
+	}
+	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isRawInt reports whether e's type is (a named alias of) plain int.
+func isRawInt(pass *Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,32 @@
+// Package ceildiv is the golden fixture for the ceildiv analyzer: every
+// line carrying a want expectation must produce a matching finding, every
+// other line must stay silent.
+package ceildiv
+
+// SubForm is the (a + b - 1) / b spelling.
+func SubForm(a, b int) int {
+	return (a + b - 1) / b // want "hand-rolled ceiling division"
+}
+
+// AddForm is the (a + (b - 1)) / b spelling.
+func AddForm(a, b int64) int64 {
+	x := (a + (b - 1)) / b // want "hand-rolled ceiling division"
+	return x
+}
+
+// PlainDiv is ordinary flooring division and must not be flagged.
+func PlainDiv(a, b int) int {
+	return a / b
+}
+
+// DifferentDivisor adds c-1 but divides by b, which is not a ceiling
+// division, and must not be flagged.
+func DifferentDivisor(a, b, c int) int {
+	return (a + c - 1) / b
+}
+
+// Suppressed carries the documented-false-positive directive.
+func Suppressed(a, b int) int {
+	//securelint:ignore ceildiv fixture: suppression case for the golden test
+	return (a + b - 1) / b
+}

@@ -1,0 +1,32 @@
+// Package floateq is the golden fixture for the floateq analyzer.
+package floateq
+
+// Eq compares floats exactly and must be flagged.
+func Eq(a, b float64) bool {
+	return a == b // want "float equality"
+}
+
+// Neq compares floats exactly and must be flagged.
+func Neq(a, b float32) bool {
+	return a != b // want "float equality"
+}
+
+// IsNaN is the idiomatic NaN test and must not be flagged.
+func IsNaN(x float64) bool {
+	return x != x
+}
+
+// Ints compares integers and must not be flagged.
+func Ints(a, b int) bool {
+	return a == b
+}
+
+// Ordered float comparisons are fine.
+func Less(a, b float64) bool {
+	return a < b
+}
+
+// Suppressed carries the documented-false-positive directive.
+func Suppressed(a, b float64) bool {
+	return a == b //securelint:ignore floateq fixture: comparing stored sentinel values, no computed noise
+}

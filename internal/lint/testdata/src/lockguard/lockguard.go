@@ -1,0 +1,65 @@
+// Package lockguard is the golden fixture for the lockguard analyzer.
+package lockguard
+
+import "sync"
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]int // guarded by mu
+	hits    int64          // guarded by mu
+}
+
+// Locked accesses the guarded field under the annotated mutex and must not
+// be flagged.
+func Locked(s *shard, k string) int {
+	s.mu.Lock()
+	v := s.entries[k]
+	s.mu.Unlock()
+	return v
+}
+
+// Unlocked must be flagged.
+func Unlocked(s *shard, k string) int {
+	return s.entries[k] // want "accessed without holding"
+}
+
+// AfterUnlock must be flagged: the lock was already released.
+func AfterUnlock(s *shard) int64 {
+	s.mu.Lock()
+	s.hits++
+	s.mu.Unlock()
+	return s.hits // want "accessed without holding"
+}
+
+// EarlyReturn is the cache fast path: the branch unlocks and returns, so the
+// fall-through still holds the lock and must not be flagged.
+func EarlyReturn(s *shard, k string) (int, bool) {
+	s.mu.Lock()
+	if v, ok := s.entries[k]; ok {
+		s.mu.Unlock()
+		return v, true
+	}
+	s.entries[k] = 1
+	s.mu.Unlock()
+	return 0, false
+}
+
+// Deferred unlock holds to function exit and must not be flagged.
+func Deferred(s *shard, k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.entries[k]
+}
+
+// OtherShard locks a different value's mutex and must be flagged.
+func OtherShard(a, b *shard, k string) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return b.entries[k] // want "accessed without holding"
+}
+
+// Suppressed carries the documented-false-positive directive.
+func Suppressed(s *shard) int {
+	//securelint:ignore lockguard fixture: single-goroutine setup phase, no concurrent access yet
+	return len(s.entries)
+}

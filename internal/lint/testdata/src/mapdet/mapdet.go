@@ -1,0 +1,85 @@
+// Package mapdet is the golden fixture for the mapdet analyzer.
+package mapdet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AppendNoSort collects keys without sorting them and must be flagged.
+func AppendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "appends to keys"
+	}
+	return keys
+}
+
+// CollectThenSort is the allowed idiom: the appended slice is sorted in a
+// following sibling statement.
+func CollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LastWriter leaks map order through a plain assignment and must be flagged.
+func LastWriter(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want "assigns last"
+	}
+	return last
+}
+
+// Commutative folds (op-assigns) are order-independent and must not be
+// flagged.
+func Commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// PerKeyWrite stores into a map entry keyed by the range variable — a
+// distinct entry per iteration — and must not be flagged.
+func PerKeyWrite(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// SliceWrite indexes an outer slice with a value from the map and must be
+// flagged: distinct indices are not guaranteed.
+func SliceWrite(m map[int]int, out []int) {
+	for k, v := range m {
+		out[v] = k // want "writes out"
+	}
+}
+
+// Printer publishes keys in iteration order and must be flagged.
+func Printer(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "calls fmt.Println"
+	}
+}
+
+// SuppressedMinFold carries the documented-false-positive directive: a
+// min-fold is order-independent but spelled as a plain assignment.
+func SuppressedMinFold(m map[uint32]bool) uint32 {
+	var minKey uint32
+	found := false
+	for k := range m {
+		if !found || k < minKey {
+			//securelint:ignore mapdet fixture: min-fold selects an order-independent extremum
+			minKey, found = k, true
+		}
+	}
+	return minKey
+}

@@ -1,0 +1,41 @@
+// Package overflowmul is the golden fixture for the overflowmul analyzer.
+package overflowmul
+
+// Volume multiplies two non-constant ints and must be flagged.
+func Volume(a, b int) int {
+	return a * b // want "int product"
+}
+
+// NamedInt products are still raw int underneath and must be flagged.
+type count int
+
+func NamedVolume(a, b count) count {
+	return a * b // want "int product"
+}
+
+// ConstScale has a constant operand and must not be flagged.
+func ConstScale(a int) int {
+	return a * 8
+}
+
+// Widened multiplies in int64 and must not be flagged.
+func Widened(a, b int64) int64 {
+	return a * b
+}
+
+// Indexed products live inside a slice index: the slice bounds-checks the
+// value at runtime, so they must not be flagged.
+func Indexed(xs []int, i, j int) int {
+	return xs[i*j]
+}
+
+// Lens multiplies two len results, which count already-materialised
+// elements, and must not be flagged.
+func Lens(xs, ys []int) int {
+	return len(xs) * len(ys)
+}
+
+// Suppressed carries the documented-false-positive directive.
+func Suppressed(a, b int) int {
+	return a * b //securelint:ignore overflowmul fixture: suppression case for the golden test
+}

@@ -35,8 +35,8 @@ type inflightSearch struct {
 
 type cacheShard struct {
 	mu       sync.Mutex
-	entries  map[cacheKey][]Candidate
-	inflight map[cacheKey]*inflightSearch
+	entries  map[cacheKey][]Candidate        // guarded by mu
+	inflight map[cacheKey]*inflightSearch    // guarded by mu
 }
 
 var (

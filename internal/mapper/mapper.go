@@ -342,6 +342,7 @@ func scoreTiling(req Request, m *mapping.Mapping, minTrafficCycles int64, best *
 // setGLBTile sets the GLB-level factor so that the tile covers `tile`
 // iterations of the dimension, given the factors already fixed below GLB.
 func setGLBTile(m *mapping.Mapping, l *workload.Layer, d mapping.Dim, tile int) {
+	//securelint:ignore overflowmul sub-GLB factors multiply to at most the padded dimension bound (tiling-search invariant); this runs in the search hot loop, so the checked multiply is deliberately avoided
 	below := m.Factor(mapping.RF, d) * m.Factor(mapping.SpatialX, d) * m.Factor(mapping.SpatialY, d)
 	if tile < below {
 		tile = below

@@ -31,7 +31,7 @@ func computeTileCandidates(bound int) []int {
 		return []int{1}
 	}
 	set := map[int]bool{1: true, bound: true}
-	for d := 2; d*d <= bound; d++ {
+	for d := 2; d <= bound/d; d++ {
 		if bound%d == 0 {
 			set[d] = true
 			set[bound/d] = true

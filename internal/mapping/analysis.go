@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"secureloop/internal/num"
 	"secureloop/internal/workload"
 )
 
@@ -55,10 +56,10 @@ func (m *Mapping) Analyze(layer *workload.Layer) TilingAnalysis {
 		nTiles := int64(1)
 		for _, d := range Dims {
 			if a.relevant[dt][d] {
-				nTiles *= int64(a.outer[d])
+				nTiles = num.MulInt64(nTiles, int64(a.outer[d]))
 			}
 		}
-		a.MinOffchipElems += nTiles * a.tileElems[dt]
+		a.MinOffchipElems += num.MulInt64(nTiles, a.tileElems[dt])
 	}
 	return a
 }
@@ -91,7 +92,7 @@ func (a *TilingAnalysis) OffchipElems(perm []Dim) int64 {
 
 	var total int64
 	for _, dt := range []workload.Datatype{workload.Weight, workload.Ifmap} {
-		total += a.visits(dt, loops[:n]) * a.tileElems[dt]
+		total += num.MulInt64(a.visits(dt, loops[:n]), a.tileElems[dt])
 	}
 	vOf := a.visits(workload.Ofmap, loops[:n])
 	nOf := int64(1)
@@ -101,9 +102,9 @@ func (a *TilingAnalysis) OffchipElems(perm []Dim) int64 {
 		}
 	}
 	tileOf := a.tileElems[workload.Ofmap]
-	total += vOf * tileOf // writes
+	total += num.MulInt64(vOf, tileOf) // writes
 	if vOf > nOf {
-		total += (vOf - nOf) * tileOf // partial-sum re-reads
+		total += num.MulInt64(vOf-nOf, tileOf) // partial-sum re-reads
 	}
 	return total
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"secureloop/internal/num"
 	"secureloop/internal/workload"
 )
 
@@ -141,7 +142,7 @@ func (m *Mapping) OuterCount(layer *workload.Layer, l Level, d Dim) int {
 	if t >= b {
 		return 1
 	}
-	return (b + t - 1) / t
+	return num.CeilDiv(b, t)
 }
 
 // PaddedBound returns the effective (possibly padded) loop bound of
@@ -171,25 +172,27 @@ func (m *Mapping) SpatialPEs() (x, y int) {
 // ActivePEs returns the number of PEs doing useful work.
 func (m *Mapping) ActivePEs() int {
 	x, y := m.SpatialPEs()
-	return x * y
+	return num.MulInt(x, y)
 }
 
 // TemporalIterations returns the number of sequential MAC steps: the product
 // of all temporal factors (RF, GLB, DRAM) over all dimensions, using padded
-// bounds so partial tiles cost full iterations.
+// bounds so partial tiles cost full iterations. All products run through the
+// checked int64 helpers: factor products across dimensions can exceed the
+// 32-bit int range long before the model itself is out of domain.
 func (m *Mapping) TemporalIterations(layer *workload.Layer) int64 {
 	iters := int64(1)
 	for d := Dim(0); d < NumDims; d++ {
-		perStep := m.Factor(RF, d) * m.Factor(GLB, d)
-		spatial := m.Factor(SpatialX, d) * m.Factor(SpatialY, d)
+		perStep := num.MulInt64(int64(m.Factor(RF, d)), int64(m.Factor(GLB, d)))
+		spatial := num.MulInt64(int64(m.Factor(SpatialX, d)), int64(m.Factor(SpatialY, d)))
 		// DRAM-level count via ceiling so padded bounds are honoured.
-		tile := perStep * spatial
-		b := Bound(layer, d)
-		outer := 1
+		tile := num.MulInt64(perStep, spatial)
+		b := int64(Bound(layer, d))
+		outer := int64(1)
 		if tile < b {
-			outer = (b + tile - 1) / tile
+			outer = num.CeilDiv64(b, tile)
 		}
-		iters *= int64(perStep) * int64(outer)
+		iters = num.MulInt64(iters, num.MulInt64(perStep, outer))
 	}
 	return iters
 }
@@ -202,12 +205,12 @@ func (m *Mapping) tileElems(layer *workload.Layer, l Level, dt workload.Datatype
 	case workload.Weight:
 		for _, d := range []Dim{DimM, DimC, DimR, DimS} {
 			if Relevant(layer, dt, d) {
-				elems *= int64(min(m.TileDim(l, d), Bound(layer, d)))
+				elems = num.MulInt64(elems, int64(min(m.TileDim(l, d), Bound(layer, d))))
 			}
 		}
 	case workload.Ofmap:
 		for _, d := range []Dim{DimM, DimP, DimQ} {
-			elems *= int64(min(m.TileDim(l, d), Bound(layer, d)))
+			elems = num.MulInt64(elems, int64(min(m.TileDim(l, d), Bound(layer, d))))
 		}
 	case workload.Ifmap:
 		// Channels: C for dense, M for depthwise.
@@ -215,16 +218,17 @@ func (m *Mapping) tileElems(layer *workload.Layer, l Level, dt workload.Datatype
 		if layer.Depthwise {
 			ch = DimM
 		}
-		elems *= int64(min(m.TileDim(l, ch), Bound(layer, ch)))
+		elems = num.MulInt64(elems, int64(min(m.TileDim(l, ch), Bound(layer, ch))))
 		// Sliding window: covering Pt outputs with Rt filter rows needs
-		// (Pt-1)*stride + Rt input rows.
+		// (Pt-1)*stride + Rt input rows. The halo products are widened to
+		// int64 before multiplying so large tiles never overflow 32-bit int.
 		pt := min(m.TileDim(l, DimP), layer.P)
 		rt := min(m.TileDim(l, DimR), layer.R)
 		qt := min(m.TileDim(l, DimQ), layer.Q)
 		st := min(m.TileDim(l, DimS), layer.S)
-		h := (pt-1)*layer.StrideH + rt
-		w := (qt-1)*layer.StrideW + st
-		elems *= int64(h) * int64(w)
+		h := num.MulInt64(int64(pt-1), int64(layer.StrideH)) + int64(rt)
+		w := num.MulInt64(int64(qt-1), int64(layer.StrideW)) + int64(st)
+		elems = num.MulInt64(elems, num.MulInt64(h, w))
 	}
 	return elems
 }

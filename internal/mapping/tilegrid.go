@@ -22,10 +22,10 @@ type OfmapTiling struct {
 }
 
 // NumTiles returns the total tile count.
-func (o OfmapTiling) NumTiles() int { return o.MCount * o.PCount * o.QCount }
+func (o OfmapTiling) NumTiles() int { return num.MulInt(num.MulInt(o.MCount, o.PCount), o.QCount) }
 
 // TileElems returns the element count of one (full) tile.
-func (o OfmapTiling) TileElems() int { return o.MTile * o.PTile * o.QTile }
+func (o OfmapTiling) TileElems() int { return num.MulInt(num.MulInt(o.MTile, o.PTile), o.QTile) }
 
 // OfmapDRAMTiling extracts the producer-side tile organisation from a
 // mapping.
@@ -82,12 +82,12 @@ type IfmapTiling struct {
 }
 
 // NumTiles returns the total tile count.
-func (i IfmapTiling) NumTiles() int { return i.ChCount * i.HCount * i.WCount }
+func (i IfmapTiling) NumTiles() int { return num.MulInt(num.MulInt(i.ChCount, i.HCount), i.WCount) }
 
 // TileRowRange returns the clipped tensor row interval [lo, hi) of the
 // spatial tile with row index ti.
 func (i IfmapTiling) TileRowRange(ti int) (lo, hi int) {
-	lo = i.OffH + ti*i.HStep
+	lo = i.OffH + num.MulInt(ti, i.HStep)
 	hi = lo + i.HWin
 	if lo < 0 {
 		lo = 0
@@ -101,7 +101,7 @@ func (i IfmapTiling) TileRowRange(ti int) (lo, hi int) {
 // TileColRange returns the clipped tensor column interval [lo, hi) of the
 // spatial tile with column index tj.
 func (i IfmapTiling) TileColRange(tj int) (lo, hi int) {
-	lo = i.OffW + tj*i.WStep
+	lo = i.OffW + num.MulInt(tj, i.WStep)
 	hi = lo + i.WWin
 	if lo < 0 {
 		lo = 0
@@ -136,10 +136,10 @@ func (m *Mapping) IfmapDRAMTiling(layer *workload.Layer) IfmapTiling {
 		Ch: Bound(layer, ch), H: layer.InH(), W: layer.InW(),
 		ChTile:         chTile,
 		ChCount:        num.CeilDiv(Bound(layer, ch), chTile),
-		HWin:           (pt-1)*layer.StrideH + layer.R,
-		WWin:           (qt-1)*layer.StrideW + layer.S,
-		HStep:          pt * layer.StrideH,
-		WStep:          qt * layer.StrideW,
+		HWin:           num.MulInt(pt-1, layer.StrideH) + layer.R,
+		WWin:           num.MulInt(qt-1, layer.StrideW) + layer.S,
+		HStep:          num.MulInt(pt, layer.StrideH),
+		WStep:          num.MulInt(qt, layer.StrideW),
 		OffH:           -layer.PadH,
 		OffW:           -layer.PadW,
 		HCount:         num.CeilDiv(layer.P, pt),

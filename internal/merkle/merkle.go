@@ -17,6 +17,8 @@ package merkle
 import (
 	"fmt"
 	"math"
+
+	"secureloop/internal/num"
 )
 
 // TreeConfig parameterises the protection scheme.
@@ -116,6 +118,6 @@ func TreelessTrafficBits(accessBytes int64, authBlockBytes int, tagBits int) int
 	if accessBytes <= 0 || authBlockBytes <= 0 {
 		return 0
 	}
-	blocks := (accessBytes + int64(authBlockBytes) - 1) / int64(authBlockBytes)
+	blocks := num.CeilDiv64(accessBytes, int64(authBlockBytes))
 	return blocks * int64(tagBits)
 }

@@ -5,6 +5,8 @@
 // returned 0.
 package num
 
+import "math/bits"
+
 // CeilDiv returns ceil(a/b) for positive b and 0 for b <= 0 (a degenerate
 // divisor means "no tiles", never "all of a").
 func CeilDiv(a, b int) int {
@@ -20,4 +22,40 @@ func CeilDiv64(a, b int64) int64 {
 		return 0
 	}
 	return (a + b - 1) / b
+}
+
+// MulInt64 returns a*b, panicking if the product does not fit in int64 or if
+// either operand is negative.
+//
+// Policy: panic, never saturate. Every caller multiplies counts — tile
+// volumes, trip counts, traffic bits — whose values the analytical AuthBlock
+// and traffic model requires to be exact; a saturated product would silently
+// corrupt the counting the paper's "analytical instead of simulation" claim
+// rests on, while a panic turns an impossible model state (or a workload far
+// beyond the model's domain) into a loud failure at the offending site.
+// Restricting operands to non-negative values keeps the overflow check to a
+// single widening multiply (bits.Mul64) plus one compare, cheap enough for
+// the mapper's inner loop.
+func MulInt64(a, b int64) int64 {
+	if a < 0 || b < 0 {
+		panic("num: MulInt64 operands must be non-negative")
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi != 0 || lo > 1<<63-1 {
+		panic("num: MulInt64 overflows int64")
+	}
+	return int64(lo)
+}
+
+// MulInt is MulInt64 for values that must stay in the int domain (tile
+// extents, coordinates, element counts used as loop bounds or allocation
+// sizes). The product is computed in int64 and must round-trip through int,
+// so coordinate arithmetic that silently wraps on a 32-bit int panics
+// instead. Same policy as MulInt64: panic, never saturate.
+func MulInt(a, b int) int {
+	v := MulInt64(int64(a), int64(b))
+	if int64(int(v)) != v {
+		panic("num: MulInt overflows int")
+	}
+	return int(v)
 }

@@ -1,6 +1,9 @@
 package num
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestCeilDiv(t *testing.T) {
 	cases := []struct{ a, b, want int }{
@@ -24,4 +27,65 @@ func TestCeilDiv(t *testing.T) {
 			t.Errorf("CeilDiv64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
 		}
 	}
+}
+
+func TestMulInt64(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, math.MaxInt64, 0},
+		{1, math.MaxInt64, math.MaxInt64},
+		{math.MaxInt64, 1, math.MaxInt64},
+		{3, 7, 21},
+		{1 << 31, 1 << 31, 1 << 62},
+		// Largest factor pairs that still fit.
+		{math.MaxInt64 / 2, 2, math.MaxInt64 - 1},
+		{3037000499, 3037000499, 3037000499 * 3037000499}, // floor(sqrt(MaxInt64))^2
+	}
+	for _, c := range cases {
+		if got := MulInt64(c.a, c.b); got != c.want {
+			t.Errorf("MulInt64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulInt(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{3, 7, 21},
+		{1, math.MaxInt, math.MaxInt},
+		{math.MaxInt / 2, 2, math.MaxInt - 1},
+	}
+	for _, c := range cases {
+		if got := MulInt(c.a, c.b); got != c.want {
+			t.Errorf("MulInt(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	mustPanic := func(name string, a, b int) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: MulInt(%d, %d) did not panic", name, a, b)
+			}
+		}()
+		MulInt(a, b)
+	}
+	mustPanic("overflow", math.MaxInt, 2)
+	mustPanic("negative a", -1, 3)
+}
+
+func TestMulInt64Panics(t *testing.T) {
+	mustPanic := func(name string, a, b int64) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: MulInt64(%d, %d) did not panic", name, a, b)
+			}
+		}()
+		MulInt64(a, b)
+	}
+	mustPanic("overflow", math.MaxInt64, 2)
+	mustPanic("overflow by one bit", 1<<32, 1<<31)
+	mustPanic("just past MaxInt64", math.MaxInt64/2+1, 2)
+	mustPanic("negative a", -1, 3)
+	mustPanic("negative b", 3, -1)
 }

@@ -2,9 +2,11 @@ package trace
 
 import (
 	"fmt"
+	"slices"
 
 	"secureloop/internal/aesgcm"
 	"secureloop/internal/authblock"
+	"secureloop/internal/num"
 )
 
 // SecureTensor is a functional simulation of a tensor stored in untrusted
@@ -61,7 +63,11 @@ func NewSecureTensor(grid authblock.ProducerGrid, a authblock.Assignment, key []
 // tileOf returns the tile index triple containing tensor coordinate
 // (ch, row, col) and the tile's clipped dims and origin.
 func (s *SecureTensor) tileInfo(ti, tj, tk int) (origin [3]int, dims [3]int) {
-	origin = [3]int{ti * s.grid.TileC, tj * s.grid.TileH, tk * s.grid.TileW}
+	origin = [3]int{
+		num.MulInt(ti, s.grid.TileC),
+		num.MulInt(tj, s.grid.TileH),
+		num.MulInt(tk, s.grid.TileW),
+	}
 	dims = [3]int{
 		min(s.grid.TileC, s.grid.C-origin[0]),
 		min(s.grid.TileH, s.grid.H-origin[1]),
@@ -112,7 +118,7 @@ func unflatten(dims [3]int, flat int64, o authblock.Orientation) (c, r, w int) {
 func (s *SecureTensor) blockAddr(ti, tj, tk int, k int64) uint32 {
 	nc, nh, nw := s.grid.Counts()
 	_ = nc
-	tile := uint32((ti*nh+tj)*nw + tk)
+	tile := uint32(num.MulInt(num.MulInt(ti, nh)+tj, nw) + tk)
 	return tile<<16 | uint32(k)&0xffff
 }
 
@@ -134,7 +140,7 @@ func (s *SecureTensor) WriteTile(ti, tj, tk int, data []byte) error {
 			}
 		}
 	}
-	nBlocks := (flat + int64(s.u) - 1) / int64(s.u)
+	nBlocks := num.CeilDiv64(flat, int64(s.u))
 	for k := int64(0); k < nBlocks; k++ {
 		lo := k * int64(s.u)
 		hi := min64(lo+int64(s.u), flat)
@@ -161,7 +167,7 @@ func (s *SecureTensor) ReadRegion(c0, c1, r0, r1, w0, w1 int) ([]byte, error) {
 		c0 >= c1 || r0 >= r1 || w0 >= w1 {
 		return nil, fmt.Errorf("trace: bad region [%d,%d)x[%d,%d)x[%d,%d)", c0, c1, r0, r1, w0, w1)
 	}
-	out := make([]byte, (c1-c0)*(r1-r0)*(w1-w0))
+	out := make([]byte, num.MulInt(num.MulInt(c1-c0, r1-r0), w1-w0))
 	needed := int64(len(out))
 	var fetched int64
 	var readErr error
@@ -181,7 +187,14 @@ func (s *SecureTensor) ReadRegion(c0, c1, r0, r1, w0, w1 int) ([]byte, error) {
 						}
 					}
 				}
+				// Fetch in ascending block order: map iteration order must
+				// not pick which authentication failure gets reported.
+				keys := make([]int64, 0, len(blocks))
 				for k := range blocks {
+					keys = append(keys, k)
+				}
+				slices.Sort(keys)
+				for _, k := range keys {
 					addr := s.blockAddr(ti, tj, tk, k)
 					sealed, ok := s.sealed[addr]
 					if !ok {
@@ -222,12 +235,21 @@ func (s *SecureTensor) ReadRegion(c0, c1, r0, r1, w0, w1 int) ([]byte, error) {
 // off-chip data-corruption attack. It reports whether any block existed to
 // tamper with.
 func (s *SecureTensor) Tamper() bool {
-	for addr, sealed := range s.sealed {
-		sealed[0] ^= 0x80
-		s.sealed[addr] = sealed
-		return true
+	// Corrupt the lowest stored address so the victim block does not depend
+	// on map iteration order.
+	var victim uint32
+	found := false
+	for addr := range s.sealed {
+		if !found || addr < victim {
+			//securelint:ignore mapdet min-fold over the keys; the selected minimum is order-independent
+			victim, found = addr, true
+		}
 	}
-	return false
+	if !found {
+		return false
+	}
+	s.sealed[victim][0] ^= 0x80
+	return true
 }
 
 func min64(a, b int64) int64 {

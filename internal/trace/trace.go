@@ -9,6 +9,7 @@ package trace
 
 import (
 	"secureloop/internal/authblock"
+	"secureloop/internal/num"
 )
 
 // CrossCosts simulates the producer/consumer handoff under an AuthBlock
@@ -20,7 +21,7 @@ func CrossCosts(p authblock.ProducerGrid, c authblock.ConsumerGrid, o authblock.
 	// Producer side: tags per tile write.
 	eachProducerTile(p, func(tc, th, tw int) {
 		flat := int64(tc) * int64(th) * int64(tw)
-		hashWrites += (flat + int64(u) - 1) / int64(u)
+		hashWrites += num.CeilDiv64(flat, int64(u))
 	})
 	hashWrites *= p.WritesPerTile
 
@@ -67,13 +68,13 @@ func eachProducerTile(p authblock.ProducerGrid, fn func(tc, th, tw int)) {
 // eachConsumerRegion visits every consumer tile's clipped tensor region.
 func eachConsumerRegion(p authblock.ProducerGrid, c authblock.ConsumerGrid, fn func(c0, c1, r0, r1, w0, w1 int)) {
 	for ic := 0; ic < c.CountC; ic++ {
-		c0 := ic * c.TileC
+		c0 := num.MulInt(ic, c.TileC)
 		c1 := min(c0+c.TileC, p.C)
 		if c0 >= c1 {
 			continue
 		}
 		for ih := 0; ih < c.CountH; ih++ {
-			r0 := c.OffH + ih*c.StepH
+			r0 := c.OffH + num.MulInt(ih, c.StepH)
 			r1 := min(r0+c.WinH, p.H)
 			if r0 < 0 {
 				r0 = 0
@@ -82,7 +83,7 @@ func eachConsumerRegion(p authblock.ProducerGrid, c authblock.ConsumerGrid, fn f
 				continue
 			}
 			for iw := 0; iw < c.CountW; iw++ {
-				w0 := c.OffW + iw*c.StepW
+				w0 := c.OffW + num.MulInt(iw, c.StepW)
 				w1 := min(w0+c.WinW, p.W)
 				if w0 < 0 {
 					w0 = 0
@@ -100,7 +101,7 @@ func eachConsumerRegion(p authblock.ProducerGrid, c authblock.ConsumerGrid, fn f
 // tile within extent, yielding (tileOrigin, tileDim, localLo, localHi).
 func forOverlaps(lo, hi, extent, tile int, fn func(t0, tdim, l0, l1 int)) {
 	for x := lo; x < hi; {
-		t0 := (x / tile) * tile
+		t0 := x - x%tile
 		tdim := min(tile, extent-t0)
 		segHi := min(hi, t0+tdim)
 		fn(t0, tdim, x-t0, segHi-t0)

@@ -4,6 +4,8 @@
 // assignment needs.
 package workload
 
+import "secureloop/internal/num"
+
 // Layer is one convolutional layer.
 //
 // A layer follows the paper's seven-dimensional nested-loop nomenclature
@@ -72,18 +74,18 @@ func (d Datatype) String() string {
 
 // InH returns the input feature-map height implied by the output shape,
 // filter size, stride and padding (without the padding itself).
-func (l *Layer) InH() int { return (l.P-1)*l.StrideH + l.R - 2*l.PadH }
+func (l *Layer) InH() int { return num.MulInt(l.P-1, l.StrideH) + l.R - 2*l.PadH }
 
 // InW returns the input feature-map width implied by the output shape.
-func (l *Layer) InW() int { return (l.Q-1)*l.StrideW + l.S - 2*l.PadW }
+func (l *Layer) InW() int { return num.MulInt(l.Q-1, l.StrideW) + l.S - 2*l.PadW }
 
 // PaddedInH returns the input height including zero padding. Tiling
 // arithmetic operates on the padded extent because the accelerator addresses
 // the padded tensor.
-func (l *Layer) PaddedInH() int { return (l.P-1)*l.StrideH + l.R }
+func (l *Layer) PaddedInH() int { return num.MulInt(l.P-1, l.StrideH) + l.R }
 
 // PaddedInW returns the input width including zero padding.
-func (l *Layer) PaddedInW() int { return (l.Q-1)*l.StrideW + l.S }
+func (l *Layer) PaddedInW() int { return num.MulInt(l.Q-1, l.StrideW) + l.S }
 
 // MACs returns the number of multiply-accumulate operations the layer
 // performs. Depthwise layers perform C*P*Q*R*S MACs; dense layers

@@ -1,6 +1,10 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"secureloop/internal/num"
+)
 
 // Network is an ordered set of layers plus the segment structure SecureLoop
 // schedules over. A segment is a maximal chain of layers in which each
@@ -251,7 +255,7 @@ func MobileNetV2() *Network {
 			if stride == 2 {
 				outSpatial = spatial / 2
 			}
-			hidden := inCh * cfg.t
+			hidden := num.MulInt(inCh, cfg.t)
 			name := fmt.Sprintf("block%d", blk)
 			residual := stride == 1 && inCh == cfg.c
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the repo-specific static-analysis suite (cmd/securelint) over the
+# whole module and fails on any finding. The suite enforces the invariants
+# the perf work depends on — centralised ceiling division, int64-safe
+# dimension/tile products, no order-sensitive map iteration, the
+# `guarded by <mu>` lock annotations, and no exact float equality in
+# cost/energy code; see DESIGN.md ("Enforced invariants").
+#
+# Usage: scripts/lint.sh [securelint flags] [packages]
+#   scripts/lint.sh                 # lint ./...
+#   scripts/lint.sh -json ./...     # machine-readable findings
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "$#" -eq 0 ]; then
+	set -- ./...
+fi
+exec go run ./cmd/securelint "$@"
