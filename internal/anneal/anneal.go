@@ -83,9 +83,13 @@ func Minimize(p Problem, opts Options) Result {
 		return res
 	}
 	// Layers with a single candidate cannot move; if none can, we are done.
+	// Choice counts are hoisted so the move loop never calls back through
+	// the interface.
 	movable := make([]int, 0, n)
+	numChoices := make([]int, n)
 	for i := 0; i < n; i++ {
-		if p.NumChoices(i) > 1 {
+		numChoices[i] = p.NumChoices(i)
+		if numChoices[i] > 1 {
 			movable = append(movable, i)
 		}
 	}
@@ -109,7 +113,7 @@ func Minimize(p Problem, opts Options) Result {
 		// so every iteration proposes a real move (sampling the current
 		// choice would burn the iteration as a no-op).
 		i := movable[rng.Intn(len(movable))]
-		next := rng.Intn(p.NumChoices(i) - 1)
+		next := rng.Intn(numChoices[i] - 1)
 		if next >= cur[i] {
 			next++
 		}
@@ -125,9 +129,13 @@ func Minimize(p Problem, opts Options) Result {
 		}
 
 		// Probabilistic acceptance (Algorithm 1 lines 8-12): improvements
-		// always accepted, regressions with probability exp(diff/t).
+		// always accepted, regressions with probability exp(diff/t). The
+		// draw happens unconditionally so the random trajectory is identical
+		// whether or not the improvement fast path skips the exponential
+		// (exp(diff/t) >= 1 > draw whenever diff >= 0).
 		diff := (curCost - nextCost) / norm
-		if math.Exp(diff/t) > rng.Float64() {
+		draw := rng.Float64()
+		if diff >= 0 || math.Exp(diff/t) > draw {
 			cur[i] = next
 			curCost = nextCost
 			res.Accepted++

@@ -113,6 +113,7 @@ func ResetCaches() {
 	optMisses.Store(0)
 	tileHits.Store(0)
 	tileMisses.Store(0)
+	clearDecompCaches()
 }
 
 // OptimalCached is Optimal with process-wide memoisation.

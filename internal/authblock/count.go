@@ -92,8 +92,9 @@ func permute(tileC, tileP, tileQ int, b Box, o Orientation) (dims [3]int, lo, hi
 // The computation runs the paper's congruence formulation: the box's rows
 // in flattened space form nested arithmetic progressions of equal-length
 // runs; block-boundary crossings are counted with floor-sums and the
-// duplicate-block corrections with residue-window counting, all in
-// O(slabs * log) rather than by enumerating elements.
+// duplicate-block corrections with residue-window counting. Slab
+// contributions repeat with period u/gcd(slabStride, u), so the cost is
+// O(min(slabs, period) * log) rather than element enumeration.
 func CountBoxBlocks(tileC, tileP, tileQ int, b Box, o Orientation, u int) (blocks, covered int64) {
 	if u <= 0 {
 		panic("authblock: block size must be positive")
@@ -108,40 +109,60 @@ func CountBoxBlocks(tileC, tileP, tileQ int, b Box, o Orientation, u int) (block
 
 	runLen := int64(hi[2] - lo[2])
 	j1 := int64(hi[1] - lo[1]) // runs per slab
-	var total int64            // distinct blocks
-	prevLast := int64(-2)      // last block index of previous slab (for cross-slab dedup)
+	step := d1 * d2            // flat distance between consecutive slab bases
+	n0 := int64(hi[0] - lo[0]) // slab count
+	base0 := (int64(lo[0])*d1+int64(lo[1]))*d2 + int64(lo[2])
+	// Flat offset of the box's last element, in the original dims (computed
+	// before canonicalisation below rewrites the slab/run shape).
+	maxFlat := (int64(hi[0]-1)*d1+int64(hi[1]-1))*d2 + int64(hi[2]) - 1
 
-	for i0 := lo[0]; i0 < hi[0]; i0++ {
-		base := (int64(i0)*d1+int64(lo[1]))*d2 + int64(lo[2])
-		// Within the slab: runs start at base + j*d2, j in [0, j1), each of
-		// length runLen. Distinct blocks touched by the slab:
-		//   sum_j (floor((s_j+runLen-1)/u) - floor(s_j/u) + 1) - duplicates
-		// where duplicates counts consecutive runs whose block ranges share
-		// their boundary block. Ranges can overlap by at most one block
-		// because runs are disjoint and ordered.
-		sumLast := floorSum(j1, u64, d2, base+runLen-1)
-		sumFirst := floorSum(j1, u64, d2, base)
-		slabBlocks := sumLast - sumFirst + j1
+	// Canonicalise: a "slab" is any group of runs whose starts form one
+	// arithmetic progression, and the whole box collapses to a single slab
+	// whenever the per-slab progressions concatenate into one.
+	if runLen == d2 {
+		// Full fastest axis: each slab's runs are contiguous, so the slab is
+		// one run of length j1*d2.
+		runLen = j1 * d2
+		j1 = 1
+	}
+	if j1 == 1 {
+		// One run per slab: the slab bases are themselves a progression of
+		// stride step.
+		j1, d2, n0 = n0, step, 1
+	} else if j1 == d1 {
+		// Full middle axis: run starts are base0 + (j + k*d1)*d2 with
+		// j + k*d1 contiguous in [0, n0*d1), one progression of stride d2.
+		j1, n0 = n0*j1, 1
+	}
 
-		// Duplicate j/j+1 boundary blocks: no multiple of u in
-		// (s_j+runLen-1, s_j+d2], i.e. (s_j+runLen-1) mod u < u - g with
-		// g = d2 - runLen + 1.
-		g := d2 - runLen + 1
-		if g <= u64 && j1 > 1 {
-			slabBlocks -= countResiduesBelow(j1-1, u64, d2, base+runLen-1, u64-g)
+	// The first slab has no predecessor inside the box, so no cross-slab
+	// dedup applies.
+	total := slabBlockCount(base0, u64, d2, runLen, j1, step, false)
+
+	// Every later slab's contribution (including its dedup against the
+	// previous slab) depends only on base mod u: floorSum and
+	// countResiduesBelow shift by exactly n per +u in b, which cancels in
+	// the differences, and both sides of the dedup equality grow by one per
+	// +u in base. Bases advance by step per slab, so contributions repeat
+	// with period p = u / gcd(step, u); when the box spans more slabs than
+	// one period, one period of slab evaluations determines the whole sum.
+	if rest := n0 - 1; rest > 0 {
+		if p := u64 / gcd(step%u64, u64); p < rest {
+			rem := rest % p
+			var cycle, prefix int64
+			for k := int64(1); k <= p; k++ {
+				c := slabBlockCount(base0+k*step, u64, d2, runLen, j1, step, true)
+				cycle += c
+				if k <= rem {
+					prefix += c
+				}
+			}
+			total += (rest/p)*cycle + prefix
+		} else {
+			for k := int64(1); k <= rest; k++ {
+				total += slabBlockCount(base0+k*step, u64, d2, runLen, j1, step, true)
+			}
 		}
-
-		total += slabBlocks
-
-		// Cross-slab duplicate: first block of this slab vs last block of
-		// the previous one.
-		first := base / u64
-		if first == prevLast {
-			total--
-		}
-		// Block index of the slab's last element: one before the ceiling of
-		// its end offset (floor((x-1)/u) == ceil(x/u)-1 for x > 0).
-		prevLast = num.CeilDiv64(base+(j1-1)*d2+runLen, u64) - 1
 	}
 
 	covered = total * u64
@@ -149,12 +170,42 @@ func CountBoxBlocks(tileC, tileP, tileQ int, b Box, o Orientation, u int) (block
 	// coverage is clipped to the tile end.
 	if rem := flatLen % u64; rem != 0 {
 		lastBlock := flatLen / u64 // index of the partial block
-		maxFlat := (int64(hi[0]-1)*d1+int64(hi[1]-1))*d2 + int64(hi[2]) - 1
 		if maxFlat >= lastBlock*u64 {
 			covered -= u64 - rem
 		}
 	}
 	return total, covered
+}
+
+// slabBlockCount returns the number of distinct blocks one slab of the box
+// contributes: the blocks its runs touch, minus (when dedup is set) the
+// boundary block it may share with the preceding slab at base-step.
+func slabBlockCount(base, u64, d2, runLen, j1, step int64, dedup bool) int64 {
+	// Within the slab: runs start at base + j*d2, j in [0, j1), each of
+	// length runLen. Distinct blocks touched by the slab:
+	//   sum_j (floor((s_j+runLen-1)/u) - floor(s_j/u) + 1) - duplicates
+	// where duplicates counts consecutive runs whose block ranges share
+	// their boundary block. Ranges can overlap by at most one block
+	// because runs are disjoint and ordered.
+	sumLast := floorSum(j1, u64, d2, base+runLen-1)
+	sumFirst := floorSum(j1, u64, d2, base)
+	blocks := sumLast - sumFirst + j1
+
+	// Duplicate j/j+1 boundary blocks: no multiple of u in
+	// (s_j+runLen-1, s_j+d2], i.e. (s_j+runLen-1) mod u < u - g with
+	// g = d2 - runLen + 1.
+	g := d2 - runLen + 1
+	if g <= u64 && j1 > 1 {
+		blocks -= countResiduesBelow(j1-1, u64, d2, base+runLen-1, u64-g)
+	}
+
+	// Cross-slab duplicate: this slab's first block vs the last block of the
+	// preceding slab, whose final element sits at base-step+(j1-1)*d2+runLen-1
+	// (floor((x-1)/u) == ceil(x/u)-1 for x > 0).
+	if dedup && base/u64 == num.CeilDiv64(base-step+(j1-1)*d2+runLen, u64)-1 {
+		blocks--
+	}
+	return blocks
 }
 
 // countBoxBlocksBrute is the enumeration oracle for CountBoxBlocks: it

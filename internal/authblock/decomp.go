@@ -1,0 +1,185 @@
+package authblock
+
+import (
+	"sort"
+	"sync"
+
+	"secureloop/internal/num"
+)
+
+// The consumer-class decomposition of a (producer, consumer) grid pair —
+// every distinct (channel, row, column) overlap box with its multiplicity —
+// depends only on the pair, not on the AuthBlock orientation or size under
+// evaluation. The optimal-assignment search evaluates hundreds of
+// (orientation, size) candidates per pair, so the decomposition is computed
+// once per pair, flattened into a sorted slice, and shared by EvaluateCross,
+// Sweep, the optimal search and the tile baselines. evaluateCrossReference
+// (reference.go) retains the per-candidate recomputation as the equivalence
+// oracle.
+
+// pairClass is one flattened consumer class: an overlap box inside a
+// producer tile of shape (tc, tp, tq), occurring mult times across the
+// consumer's tiles.
+type pairClass struct {
+	box        Box
+	tc, tp, tq int
+	// vol is box.Volume(), precomputed for the per-size lower bound.
+	vol int64
+	// mult is how many consumer tiles produce this exact class.
+	mult int64
+}
+
+// pairDecomposition is the complete consumer-class decomposition of one
+// (producer, consumer) pair, in deterministic sorted order.
+type pairDecomposition struct {
+	classes []pairClass
+}
+
+// newPairDecomposition intersects the consumer's windows with the producer's
+// tile boundaries on each axis and flattens the cross product of the per-axis
+// classes into one sorted slice.
+func newPairDecomposition(p ProducerGrid, c ConsumerGrid) *pairDecomposition {
+	ch, rows, cols := consumerClasses(p, c)
+	flatten := func(m map[axisClass]int64) []struct {
+		axisClass
+		n int64
+	} {
+		out := make([]struct {
+			axisClass
+			n int64
+		}, 0, len(m))
+		for cls, n := range m {
+			out = append(out, struct {
+				axisClass
+				n int64
+			}{cls, n})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			a, b := out[i].axisClass, out[j].axisClass
+			if a.tdim != b.tdim {
+				return a.tdim < b.tdim
+			}
+			if a.lo != b.lo {
+				return a.lo < b.lo
+			}
+			return a.hi < b.hi
+		})
+		return out
+	}
+	chs, rcs, wcs := flatten(ch), flatten(rows), flatten(cols)
+	d := &pairDecomposition{classes: make([]pairClass, 0, num.MulInt(num.MulInt(len(chs), len(rcs)), len(wcs)))}
+	for _, cc := range chs {
+		for _, rc := range rcs {
+			for _, wc := range wcs {
+				box := Box{C0: cc.lo, C1: cc.hi, P0: rc.lo, P1: rc.hi, Q0: wc.lo, Q1: wc.hi}
+				d.classes = append(d.classes, pairClass{
+					box: box,
+					tc:  cc.tdim, tp: rc.tdim, tq: wc.tdim,
+					vol:  box.Volume(),
+					mult: cc.n * rc.n * wc.n,
+				})
+			}
+		}
+	}
+	return d
+}
+
+// evaluate computes the cross-layer costs of (orientation o, size u) on the
+// shared decomposition. hashWrite is the producer-side tag traffic at size u
+// (hoisted out so the search computes it once per size, not once per
+// orientation).
+func (d *pairDecomposition) evaluate(o Orientation, u int, hashWrite, fetches int64, par Params) Costs {
+	var hashReads, redundant int64
+	for i := range d.classes {
+		cl := &d.classes[i]
+		blocks, covered := CountBoxBlocks(cl.tc, cl.tp, cl.tq, cl.box, o, u)
+		hashReads += cl.mult * blocks
+		redundant += cl.mult * (covered - cl.vol)
+	}
+	return Costs{
+		HashWriteBits: hashWrite,
+		HashReadBits:  hashReads * fetches * int64(par.HashBits),
+		RedundantBits: redundant * fetches * int64(par.WordBits),
+	}
+}
+
+// lowerBound returns a bound no candidate of size u can beat, valid for
+// every orientation: each consumer box of volume v touches at least
+// ceil(v/u) blocks (blocks*u >= covered >= v), and redundant reads are
+// non-negative, so total >= hashWrite(u) + sum(mult*ceil(vol/u))*tag bits.
+// The search skips a size outright when this bound exceeds the best total
+// found so far; since every actual total at that size then strictly exceeds
+// the best, skipping cannot change the selected assignment.
+func (d *pairDecomposition) lowerBound(u int, hashWrite, fetches int64, par Params) int64 {
+	u64 := int64(u)
+	var minBlocks int64
+	for i := range d.classes {
+		cl := &d.classes[i]
+		minBlocks += cl.mult * num.CeilDiv64(cl.vol, u64)
+	}
+	return hashWrite + minBlocks*fetches*int64(par.HashBits)
+}
+
+// tileDirect evaluates the tile-as-an-AuthBlock direct baseline on the
+// shared decomposition: each consumer box fetches its whole producer tile.
+func (d *pairDecomposition) tileDirect(p ProducerGrid, fetches int64, par Params) Costs {
+	var hashReads, redundant int64
+	for i := range d.classes {
+		cl := &d.classes[i]
+		tileVol := int64(cl.tc) * int64(cl.tp) * int64(cl.tq)
+		hashReads += cl.mult
+		redundant += cl.mult * (tileVol - cl.vol)
+	}
+	return Costs{
+		HashWriteBits: p.NumTiles() * p.WritesPerTile * int64(par.HashBits),
+		HashReadBits:  hashReads * fetches * int64(par.HashBits),
+		RedundantBits: redundant * fetches * int64(par.WordBits),
+	}
+}
+
+// decompKey identifies a (producer, consumer) pair in the decomposition memo.
+type decompKey struct {
+	p ProducerGrid
+	c ConsumerGrid
+}
+
+// decompCache memoises decompositions process-wide: the same grid pairs
+// recur across candidate sizes, annealing moves and design-space sweeps.
+var decompCache sync.Map // decompKey -> *pairDecomposition
+
+// decompositionFor returns the memoised decomposition of the pair.
+func decompositionFor(p ProducerGrid, c ConsumerGrid) *pairDecomposition {
+	key := decompKey{p: p, c: c}
+	if v, ok := decompCache.Load(key); ok {
+		return v.(*pairDecomposition)
+	}
+	d := newPairDecomposition(p, c)
+	if v, loaded := decompCache.LoadOrStore(key, d); loaded {
+		return v.(*pairDecomposition)
+	}
+	return d
+}
+
+// sizeKey captures the only fields CandidateSizes reads.
+type sizeKey struct {
+	tileC, tileH, tileW int
+	winH, winW          int
+	stepH, stepW        int
+}
+
+// sizeCache memoises the deduplicated candidate-size lists; callers must
+// treat the returned slice as read-only.
+var sizeCache sync.Map // sizeKey -> []int
+
+// clearDecompCaches drops the decomposition and candidate-size memos
+// (ResetCaches calls this alongside the result memos).
+func clearDecompCaches() {
+	decompCache.Range(func(k, _ any) bool {
+		decompCache.Delete(k)
+		return true
+	})
+	sizeCache.Range(func(k, _ any) bool {
+		sizeCache.Delete(k)
+		return true
+	})
+}

@@ -2,6 +2,51 @@ package authblock
 
 import "testing"
 
+// FuzzEvaluateCrossEquivalence cross-checks the shared-decomposition fast
+// path against the retained per-candidate reference on fuzzer-generated
+// grid pairs: the cost breakdown must match bit for bit for every
+// orientation, and the bound-pruned optimal search must agree with the
+// exhaustive reference search.
+func FuzzEvaluateCrossEquivalence(f *testing.F) {
+	f.Add(uint8(4), uint8(10), uint8(10), uint8(2), uint8(4), uint8(3),
+		uint8(3), uint8(3), uint8(5), uint8(2), uint8(4), uint8(1), uint8(0), uint8(7))
+	f.Add(uint8(1), uint8(6), uint8(12), uint8(1), uint8(1), uint8(12),
+		uint8(1), uint8(2), uint8(6), uint8(1), uint8(6), uint8(0), uint8(1), uint8(33))
+	f.Fuzz(func(t *testing.T, pc, ph, pw, tc, th, tw, cc, wh, ww, sh, sw, offh, offw, u uint8) {
+		p := ProducerGrid{
+			C: int(pc)%6 + 1, H: int(ph)%12 + 2, W: int(pw)%12 + 2,
+			WritesPerTile: 1 + int64(tc)%2,
+		}
+		p.TileC = int(tc)%p.C + 1
+		p.TileH = int(th)%p.H + 1
+		p.TileW = int(tw)%p.W + 1
+		c := ConsumerGrid{
+			TileC: int(cc)%p.C + 1,
+			WinH:  int(wh)%p.H + 1, WinW: int(ww)%p.W + 1,
+			StepH: int(sh)%4 + 1, StepW: int(sw)%4 + 1,
+			OffH: -(int(offh) % 2), OffW: -(int(offw) % 2),
+			CountC: int(cc)%3 + 1, CountH: int(wh)%5 + 1, CountW: int(ww)%5 + 1,
+			FetchesPerTile: 1 + int64(sh)%3,
+		}
+		if p.Validate() != nil || c.Validate() != nil {
+			t.Skip()
+		}
+		flat := p.TileC * p.TileH * p.TileW
+		uu := int(u)%(flat+4) + 1
+		par := DefaultParams()
+		for _, o := range Orientations {
+			got := EvaluateCross(p, c, o, uu, par)
+			want := evaluateCrossReference(p, c, o, uu, par)
+			if got != want {
+				t.Fatalf("p=%+v c=%+v %v u=%d: fast %+v != reference %+v", p, c, o, uu, got, want)
+			}
+		}
+		if got, want := Optimal(p, c, par), OptimalReference(p, c, par); got != want {
+			t.Fatalf("p=%+v c=%+v: Optimal %+v != reference %+v", p, c, got, want)
+		}
+	})
+}
+
 // FuzzCountBoxBlocks cross-checks the analytic congruence counter against
 // the enumeration oracle on fuzzer-chosen geometries.
 func FuzzCountBoxBlocks(f *testing.F) {

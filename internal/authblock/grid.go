@@ -240,26 +240,13 @@ func forEachTileClass(p ProducerGrid, fn func(tc, th, tw int, mult int64)) {
 // EvaluateCross computes the extra off-chip traffic when AuthBlocks of
 // (orientation o, size u) are laid over the producer tiles and the consumer
 // reads the tensor with its own tiling. This is the workhorse behind both
-// the Figure 9 sweep and the optimal-assignment search.
+// the Figure 9 sweep and the optimal-assignment search. The consumer-class
+// decomposition depends only on the pair, so it is fetched from the shared
+// memo and reused across every (orientation, size) candidate; the result is
+// bitwise-identical to evaluateCrossReference (equiv_test.go).
 func EvaluateCross(p ProducerGrid, c ConsumerGrid, o Orientation, u int, par Params) Costs {
-	ch, rows, cols := consumerClasses(p, c)
-	var hashReads, redundant int64
-	for cc, nc := range ch {
-		for rc, nr := range rows {
-			for wc, nw := range cols {
-				mult := nc * nr * nw
-				box := Box{C0: cc.lo, C1: cc.hi, P0: rc.lo, P1: rc.hi, Q0: wc.lo, Q1: wc.hi}
-				blocks, covered := CountBoxBlocks(cc.tdim, rc.tdim, wc.tdim, box, o, u)
-				hashReads += mult * blocks
-				redundant += mult * (covered - box.Volume())
-			}
-		}
-	}
-	return Costs{
-		HashWriteBits: p.HashWriteBits(u, par),
-		HashReadBits:  hashReads * c.FetchesPerTile * int64(par.HashBits),
-		RedundantBits: redundant * c.FetchesPerTile * int64(par.WordBits),
-	}
+	d := decompositionFor(p, c)
+	return d.evaluate(o, u, p.HashWriteBits(u, par), c.FetchesPerTile, par)
 }
 
 // TensorBits returns the tensor size in data bits.

@@ -27,6 +27,20 @@ type Result struct {
 // eliminate redundant reads periodically), and row-multiples tied to the
 // per-axis misalignment offsets.
 func CandidateSizes(p ProducerGrid, c ConsumerGrid) []int {
+	key := sizeKey{
+		tileC: p.TileC, tileH: p.TileH, tileW: p.TileW,
+		winH: c.WinH, winW: c.WinW, stepH: c.StepH, stepW: c.StepW,
+	}
+	if v, ok := sizeCache.Load(key); ok {
+		return v.([]int)
+	}
+	out := candidateSizes(p, c)
+	sizeCache.Store(key, out)
+	return out
+}
+
+// candidateSizes is the unmemoised CandidateSizes.
+func candidateSizes(p ProducerGrid, c ConsumerGrid) []int {
 	flat := num.MulInt(num.MulInt(p.TileC, p.TileH), p.TileW)
 	set := map[int]bool{1: true, flat: true}
 	add := func(v int) {
@@ -92,21 +106,59 @@ func Optimal(p ProducerGrid, c ConsumerGrid, par Params) Result {
 }
 
 // OptimalOver is Optimal with an explicit candidate-size list.
+//
+// The search runs on the shared pair decomposition: the class structure is
+// built once, the producer-side hash-write traffic is computed once per
+// size (not once per orientation), and alignment-seeded candidates are
+// evaluated first so the per-size lower bound (pairDecomposition.lowerBound)
+// can skip most of the remaining sizes without evaluating any orientation.
+//
+// The update rule — strictly smaller total, or equal total with strictly
+// larger block — selects the minimum of (total, -U, orientation order)
+// whatever order candidates are visited in, because orientations are always
+// visited in Orientations order within one size; re-evaluating a seed or
+// skipping a size whose lower bound exceeds the incumbent total therefore
+// cannot change the result. TestOptimalMatchesReference holds the proof
+// obligation against the retained OptimalReference.
 func OptimalOver(p ProducerGrid, c ConsumerGrid, par Params, sizes []int) Result {
+	d := decompositionFor(p, c)
 	best := Result{Assignment: Assignment{Orientation: AlongQ, U: 1}}
 	first := true
-	for _, o := range Orientations {
-		if skipOrientation(p, o) {
-			continue
+	fetches := c.FetchesPerTile
+	consider := func(u int) {
+		hw := p.HashWriteBits(u, par)
+		if !first && d.lowerBound(u, hw, fetches, par) > best.Costs.Total() {
+			return
 		}
-		for _, u := range sizes {
-			costs := EvaluateCross(p, c, o, u, par)
+		for _, o := range Orientations {
+			if skipOrientation(p, o) {
+				continue
+			}
+			costs := d.evaluate(o, u, hw, fetches, par)
 			if first || costs.Total() < best.Costs.Total() ||
 				(costs.Total() == best.Costs.Total() && u > best.Assignment.U) {
 				best = Result{Assignment: Assignment{Orientation: o, U: u}, Costs: costs}
 				first = false
 			}
 		}
+	}
+	// Seeds: the Figure 9 local minima live where block boundaries align
+	// with row, plane or tile boundaries. Evaluating those first gives the
+	// lower bound a strong incumbent before the ascending scan begins.
+	for _, seed := range []int{
+		num.MulInt(num.MulInt(p.TileC, p.TileH), p.TileW),
+		num.MulInt(p.TileH, p.TileW),
+		p.TileW,
+	} {
+		for _, u := range sizes {
+			if u == seed {
+				consider(u)
+				break
+			}
+		}
+	}
+	for _, u := range sizes {
+		consider(u)
 	}
 	return best
 }
@@ -126,11 +178,12 @@ func skipOrientation(p ProducerGrid, o Orientation) bool {
 // Sweep evaluates every block size in [1, max] for one orientation,
 // returning per-size costs — the Figure 9 visualisation.
 func Sweep(p ProducerGrid, c ConsumerGrid, o Orientation, maxU int, par Params) []Result {
+	d := decompositionFor(p, c)
 	out := make([]Result, 0, maxU)
 	for u := 1; u <= maxU; u++ {
 		out = append(out, Result{
 			Assignment: Assignment{Orientation: o, U: u},
-			Costs:      EvaluateCross(p, c, o, u, par),
+			Costs:      d.evaluate(o, u, p.HashWriteBits(u, par), c.FetchesPerTile, par),
 		})
 	}
 	return out
@@ -157,26 +210,10 @@ func TileAsAuthBlock(p ProducerGrid, c ConsumerGrid, par Params) (Costs, bool) {
 	return direct, false
 }
 
-// tileBaselineDirect counts whole-producer-tile fetches per consumer tile.
+// tileBaselineDirect counts whole-producer-tile fetches per consumer tile,
+// on the shared pair decomposition.
 func tileBaselineDirect(p ProducerGrid, c ConsumerGrid, par Params) Costs {
-	ch, rows, cols := consumerClasses(p, c)
-	var hashReads, redundant int64
-	for cc, nc := range ch {
-		for rc, nr := range rows {
-			for wc, nw := range cols {
-				mult := nc * nr * nw
-				tileVol := int64(cc.tdim) * int64(rc.tdim) * int64(wc.tdim)
-				boxVol := int64(cc.hi-cc.lo) * int64(rc.hi-rc.lo) * int64(wc.hi-wc.lo)
-				hashReads += mult
-				redundant += mult * (tileVol - boxVol)
-			}
-		}
-	}
-	return Costs{
-		HashWriteBits: p.NumTiles() * p.WritesPerTile * int64(par.HashBits),
-		HashReadBits:  hashReads * c.FetchesPerTile * int64(par.HashBits),
-		RedundantBits: redundant * c.FetchesPerTile * int64(par.WordBits),
-	}
+	return decompositionFor(p, c).tileDirect(p, c.FetchesPerTile, par)
 }
 
 // tileBaselineRehash charges a full reorganisation pass, after which every
@@ -223,4 +260,3 @@ func SinkCosts(p ProducerGrid, par Params) Costs {
 		HashWriteBits: p.NumTiles() * p.WritesPerTile * int64(par.HashBits),
 	}
 }
-

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"secureloop/internal/anneal"
@@ -35,13 +36,12 @@ func benchSegmentNetwork() *workload.Network {
 }
 
 // benchRun assembles the step-1 candidates for the bench network so the
-// benchmark isolates the annealing step.
+// benchmarks isolate the step-2/3 AuthBlock and annealing pipeline.
 func benchRun(b *testing.B, net *workload.Network) *run {
 	b.Helper()
 	s := New(arch.Base(), cryptoengine.Config{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1})
-	r := &run{s: s, net: net, alg: CryptOptCross, pairCache: map[pairKey]authblock.Costs{}}
+	r := newRun(s, net, CryptOptCross)
 	effBW := s.Crypto.EffectiveBytesPerCycle(s.Spec.DRAM.BytesPerCycle)
-	r.candidates = make([][]mapper.Candidate, net.NumLayers())
 	for i := range net.Layers {
 		r.candidates[i] = mapper.SearchCached(mapper.Request{
 			Layer: &net.Layers[i],
@@ -57,46 +57,117 @@ func benchRun(b *testing.B, net *workload.Network) *run {
 	return r
 }
 
-// fullOnlyProblem hides the Incremental interface, forcing the annealer
-// onto the whole-segment recomputation path of the pre-optimisation code.
-type fullOnlyProblem struct{ p anneal.Problem }
-
-func (f fullOnlyProblem) NumLayers() int       { return f.p.NumLayers() }
-func (f fullOnlyProblem) NumChoices(i int) int { return f.p.NumChoices(i) }
-func (f fullOnlyProblem) Cost(c []int) float64 { return f.p.Cost(c) }
-
-// BenchmarkAnnealSegment measures Algorithm 1 on a 5-layer segment: 500
-// annealing iterations over the per-layer top-k candidate sets. The "full"
-// variant recomputes the whole segment per move with no memo (the old hot
-// path); "incremental" uses the layer memo plus DeltaCost. Both report
-// fresh layer evaluations per move.
+// BenchmarkAnnealSegment measures the step-2/3 pipeline on a 5-layer
+// segment with a cold AuthBlock cache: 500 annealing iterations over the
+// per-layer top-k candidate sets, with every memo (global authblock caches,
+// pair matrices, layer memos) dropped each iteration.
+//
+// The "reference" variant is the pre-batching hot path: every annealing
+// move that misses the memo pays a full per-candidate AuthBlock search
+// (retained authblock.OptimalReference) on demand. The "batched" variant
+// precomputes the dense pair-cost matrices up front on the shared
+// decomposition and anneals over pure array lookups.
 func BenchmarkAnnealSegment(b *testing.B) {
 	net := benchSegmentNetwork()
 	opts := anneal.Options{Iterations: 500, TInit: 0.05, TFinal: 1e-4, Seed: 1}
-	for _, mode := range []string{"full", "incremental"} {
+	segs := net.Segments
+	for _, mode := range []string{"reference", "batched"} {
 		b.Run(mode, func(b *testing.B) {
 			r := benchRun(b, net)
-			r.memoOff = mode == "full"
-			choices := make([]int, net.NumLayers())
+			r.useReference = mode == "reference"
 			var evals int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				for j := range choices {
-					choices[j] = 0
+				b.StopTimer()
+				authblock.ResetCaches()
+				r.pairMats = make([]*pairMatrix, net.NumLayers())
+				r.layerMemos = make([]layerMemo, net.NumLayers())
+				r.layerEvals.Store(0)
+				b.StartTimer()
+				if mode == "batched" {
+					r.precomputePairMatrices(segs, 1)
 				}
-				r.layerEvals = 0
-				r.layerMemo = nil
-				var prob anneal.Problem = &segmentProblem{run: r, segment: net.Segments[0], choices: choices}
-				if mode == "full" {
-					prob = fullOnlyProblem{prob}
-				}
-				res := anneal.Minimize(prob, opts)
+				r.prepareLayerMemos(segs)
+				res := anneal.Minimize(&segmentProblem{run: r, segment: segs[0]}, opts)
 				if res.Cost <= 0 {
 					b.Fatal("non-positive segment cost")
 				}
-				evals += r.layerEvals
+				evals += r.layerEvals.Load()
 			}
 			b.ReportMetric(float64(evals)/float64(int64(b.N)*int64(opts.Iterations)), "layer-evals/move")
 		})
+	}
+}
+
+// BenchmarkAnnealMove measures the steady-state annealing move: every pair
+// matrix and layer-memo slot is warm, so DeltaCost must be pure array
+// arithmetic — 0 allocs/op.
+func BenchmarkAnnealMove(b *testing.B) {
+	net := benchSegmentNetwork()
+	r := benchRun(b, net)
+	segs := net.Segments
+	r.precomputePairMatrices(segs, 1)
+	r.prepareLayerMemos(segs)
+	prob := &segmentProblem{run: r, segment: segs[0]}
+	// Warm every memo slot the move loop can touch.
+	res := anneal.Minimize(prob, anneal.Options{Iterations: 2000, TInit: 0.05, TFinal: 1e-4, Seed: 1})
+	if res.Cost <= 0 {
+		b.Fatal("non-positive segment cost")
+	}
+	rng := rand.New(rand.NewSource(2))
+	choices := make([]int, len(segs[0]))
+	moves := make([][2]int, 1024)
+	for i := range moves {
+		li := rng.Intn(len(segs[0]))
+		moves[i] = [2]int{li, rng.Intn(len(r.candidates[segs[0][li]]))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		m := moves[i%len(moves)]
+		sink += prob.DeltaCost(choices, m[0], m[1])
+	}
+	if sink <= 0 {
+		b.Fatal("non-positive accumulated cost")
+	}
+}
+
+// BenchmarkPairMatrix measures the batched step-2 precomputation alone: the
+// k x k AuthBlock pair-cost matrices of all adjacent layer pairs in the
+// segment, from a cold cache.
+func BenchmarkPairMatrix(b *testing.B) {
+	net := benchSegmentNetwork()
+	r := benchRun(b, net)
+	segs := net.Segments
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		authblock.ResetCaches()
+		r.pairMats = make([]*pairMatrix, net.NumLayers())
+		b.StartTimer()
+		r.precomputePairMatrices(segs, 1)
+	}
+}
+
+// BenchmarkScheduleNetworkCross is the end-to-end Crypt-Opt-Cross schedule
+// of AlexNet from a cold AuthBlock cache (the mapper cache stays warm, so
+// the number isolates steps 2-3 plus assembly).
+func BenchmarkScheduleNetworkCross(b *testing.B) {
+	net := workload.AlexNet()
+	s := New(arch.Base(), cryptoengine.Config{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1})
+	s.Anneal.Iterations = 500
+	if _, err := s.ScheduleNetwork(net, CryptOptCross); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		authblock.ResetCaches()
+		b.StartTimer()
+		if _, err := s.ScheduleNetwork(net, CryptOptCross); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -115,6 +115,9 @@ func New(spec arch.Spec, crypto cryptoengine.Config) *Scheduler {
 type LayerResult struct {
 	// Index is the layer's position in the network.
 	Index int
+	// Choice is the index of the chosen schedule in the layer's top-k
+	// candidate list (0 outside Crypt-Opt-Cross, where only top-1 is kept).
+	Choice int
 	// Mapping is the chosen loopnest schedule.
 	Mapping *mapping.Mapping
 	// Stats is the evaluated performance/energy.

@@ -5,7 +5,6 @@ import (
 	"reflect"
 	"testing"
 
-	"secureloop/internal/authblock"
 	"secureloop/internal/mapper"
 	"secureloop/internal/workload"
 )
@@ -39,13 +38,48 @@ func TestParallelMappingMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestAnnealParallelMatchesSerial: step 3 anneals independent multi-layer
+// segments concurrently; at any parallelism the choice vectors, cycles and
+// energy must be identical to the serial run. ResNet18 has several
+// multi-layer segments, so this actually exercises concurrent segments (and
+// the concurrent pair-matrix precompute feeding them).
+func TestAnnealParallelMatchesSerial(t *testing.T) {
+	net := workload.ResNet18()
+	if n := len(net.Segments); n < 3 {
+		t.Fatalf("want a multi-segment network, got %d segments", n)
+	}
+	serial := testScheduler()
+	serial.MaxParallel = 1
+	rs, err := serial.ScheduleNetwork(net, CryptOptCross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := testScheduler()
+	par.MaxParallel = 8
+	rp, err := par.ScheduleNetwork(net, CryptOptCross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs.Layers {
+		if rs.Layers[i].Choice != rp.Layers[i].Choice {
+			t.Errorf("layer %d: serial choice %d != parallel choice %d",
+				i, rs.Layers[i].Choice, rp.Layers[i].Choice)
+		}
+	}
+	if rs.Total.Cycles != rp.Total.Cycles || rs.Total.EnergyPJ != rp.Total.EnergyPJ {
+		t.Errorf("serial total %+v != parallel total %+v", rs.Total, rp.Total)
+	}
+	if !reflect.DeepEqual(rs.Layers, rp.Layers) {
+		t.Error("parallel per-layer results differ from serial")
+	}
+}
+
 // testRun builds the annealing state for one segment of the network, as
 // ScheduleNetwork does before step 3.
 func testRun(t *testing.T, s *Scheduler, net *workload.Network) *run {
 	t.Helper()
-	r := &run{s: s, net: net, alg: CryptOptCross, pairCache: map[pairKey]authblock.Costs{}}
+	r := newRun(s, net, CryptOptCross)
 	effBW := s.Crypto.EffectiveBytesPerCycle(s.Spec.DRAM.BytesPerCycle)
-	r.candidates = make([][]mapper.Candidate, net.NumLayers())
 	for i := range net.Layers {
 		r.candidates[i] = mapper.SearchCached(mapper.Request{
 			Layer: &net.Layers[i],
@@ -62,9 +96,9 @@ func testRun(t *testing.T, s *Scheduler, net *workload.Network) *run {
 }
 
 // TestDeltaCostMatchesFullRecomputation: for random choice vectors and
-// random single-layer moves, the memoised DeltaCost path must equal a full
-// recomputation on an independent, unmemoised problem instance — for both
-// objectives.
+// random single-layer moves, the dense-memo DeltaCost path must equal a
+// full recomputation on an independent, unmemoised problem instance — for
+// both objectives.
 func TestDeltaCostMatchesFullRecomputation(t *testing.T) {
 	net := workload.AlexNet()
 	for _, objective := range []Objective{MinLatency, MinEDP} {
@@ -78,8 +112,10 @@ func TestDeltaCostMatchesFullRecomputation(t *testing.T) {
 		if len(seg) < 3 {
 			t.Fatal("expected a multi-layer segment")
 		}
-		fastProb := &segmentProblem{run: fast, segment: seg, choices: make([]int, net.NumLayers())}
-		slowProb := &segmentProblem{run: slow, segment: seg, choices: make([]int, net.NumLayers())}
+		fast.precomputePairMatrices([][]int{seg}, 4)
+		fast.prepareLayerMemos([][]int{seg})
+		fastProb := &segmentProblem{run: fast, segment: seg}
+		slowProb := &segmentProblem{run: slow, segment: seg}
 
 		rng := rand.New(rand.NewSource(9))
 		cur := make([]int, len(seg))
@@ -101,9 +137,34 @@ func TestDeltaCostMatchesFullRecomputation(t *testing.T) {
 					objective, trial, cur, i, next, got, want)
 			}
 		}
-		if fast.layerEvals >= slow.layerEvals {
+		if fast.layerEvals.Load() >= slow.layerEvals.Load() {
 			t.Errorf("%v: memoised path evaluated %d layers, unmemoised %d — memo ineffective",
-				objective, fast.layerEvals, slow.layerEvals)
+				objective, fast.layerEvals.Load(), slow.layerEvals.Load())
+		}
+	}
+}
+
+// TestPairMatrixPrecomputeMatchesLazy: the fanned-out precompute must fill
+// exactly the entries the lazy serial path would, with identical costs and
+// assignments.
+func TestPairMatrixPrecomputeMatchesLazy(t *testing.T) {
+	net := workload.AlexNet()
+	s := testScheduler()
+	pre := testRun(t, s, net)
+	lazy := testRun(t, s, net)
+	seg := net.Segments[2]
+	pre.precomputePairMatrices([][]int{seg}, 8)
+	for i := 0; i+1 < len(seg); i++ {
+		a, b := seg[i], seg[i+1]
+		for ca := range pre.candidates[a] {
+			for cb := range pre.candidates[b] {
+				gc, ga := pre.pairCosts(a, b, ca, cb)
+				wc, wa := lazy.pairCosts(a, b, ca, cb)
+				if gc != wc || ga != wa {
+					t.Fatalf("pair (%d,%d) choices (%d,%d): precomputed (%+v,%+v) != lazy (%+v,%+v)",
+						a, b, ca, cb, gc, ga, wc, wa)
+				}
+			}
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"secureloop/internal/anneal"
 	"secureloop/internal/authblock"
@@ -32,12 +33,7 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 		}
 	}
 
-	run := &run{
-		s:         s,
-		net:       net,
-		alg:       alg,
-		pairCache: map[pairKey]authblock.Costs{},
-	}
+	run := newRun(s, net, alg)
 
 	// Step 1: crypto-aware loopnest scheduling (top-k per layer). Layers are
 	// independent here, so the searches fan out across a bounded worker
@@ -52,7 +48,6 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 	if alg != CryptOptCross {
 		topK = 1
 	}
-	run.candidates = make([][]mapper.Candidate, net.NumLayers())
 	workers := s.MaxParallel
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -84,32 +79,55 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 	// Choice vector: index into each layer's candidate list.
 	choices := make([]int, net.NumLayers())
 
-	// Step 3: cross-layer fine tuning within each multi-layer segment. The
-	// configured iteration count is a *global* budget (the paper's default
-	// is 1000 for the whole network); it is divided across the multi-layer
-	// segments in proportion to their size, with a floor so small segments
-	// still explore.
+	// Steps 2+3: batched AuthBlock assignment and cross-layer fine tuning.
+	// The configured iteration count is a *global* budget (the paper's
+	// default is 1000 for the whole network); it is divided across the
+	// multi-layer segments in proportion to their size, with a floor so
+	// small segments still explore.
 	if alg == CryptOptCross {
 		var tunable int
+		var segs [][]int
 		for _, seg := range net.Segments {
 			if len(seg) >= 2 {
 				tunable += len(seg)
+				segs = append(segs, seg)
 			}
 		}
-		for _, seg := range net.Segments {
-			if len(seg) < 2 {
-				continue
+		if len(segs) > 0 {
+			// Step 2, batched: every annealing move only ever consults the
+			// k x k AuthBlock pair-cost matrices of adjacent layers, so all
+			// matrices are computed up front, fanned out across the worker
+			// pool (entries are independent searches on disjoint slots).
+			run.precomputePairMatrices(segs, workers)
+			// Dense per-layer evaluation memos make a move pure array
+			// arithmetic; allocated before annealing so concurrent segments
+			// only touch disjoint, pre-sized slices.
+			run.prepareLayerMemos(segs)
+
+			// Step 3: independent segments anneal concurrently — their layer
+			// sets are disjoint, each problem carries its own scratch, and
+			// per-segment results land in disjoint slots of the choice
+			// vector, so the outcome is identical at any parallelism.
+			var awg sync.WaitGroup
+			asem := make(chan struct{}, workers)
+			for _, seg := range segs {
+				opts := s.Anneal
+				opts.Iterations = int(num.MulInt64(int64(s.Anneal.Iterations), int64(len(seg))) / int64(tunable))
+				if opts.Iterations < 30 {
+					opts.Iterations = 30
+				}
+				awg.Add(1)
+				asem <- struct{}{}
+				go func(seg []int, opts anneal.Options) {
+					defer awg.Done()
+					defer func() { <-asem }()
+					res := anneal.Minimize(&segmentProblem{run: run, segment: seg}, opts)
+					for j, li := range seg {
+						choices[li] = res.Choices[j]
+					}
+				}(seg, opts)
 			}
-			opts := s.Anneal
-			opts.Iterations = int(num.MulInt64(int64(s.Anneal.Iterations), int64(len(seg))) / int64(tunable))
-			if opts.Iterations < 30 {
-				opts.Iterations = 30
-			}
-			prob := &segmentProblem{run: run, segment: seg, choices: choices}
-			res := anneal.Minimize(prob, opts)
-			for j, li := range seg {
-				choices[li] = res.Choices[j]
-			}
+			awg.Wait()
 		}
 	}
 
@@ -124,35 +142,82 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 	return out, nil
 }
 
-// run carries the per-invocation state: candidates, the pair-cost cache and
-// the per-layer evaluation memo.
+// run carries the per-invocation state: candidates, the dense AuthBlock
+// pair-cost matrices and the dense per-layer evaluation memos.
 type run struct {
 	s          *Scheduler
 	net        *workload.Network
 	alg        Algorithm
 	candidates [][]mapper.Candidate
 
-	pairCache map[pairKey]authblock.Costs
-	// pairAssign remembers the optimal assignment per pair for reporting.
-	pairAssign map[pairKey]authblock.Assignment
+	// prevOf, nextOf are each layer's in-segment neighbours (-1 at segment
+	// boundaries), precomputed so the hot path never rescans the segment
+	// table.
+	prevOf, nextOf []int
 
-	// layerMemo memoises full layer evaluations on (layer, choice,
-	// prevChoice, nextChoice) — the complete dependency set of one layer's
-	// scheduled cost. A single-layer annealing move invalidates at most
-	// three keys, so segment costs become O(1) fresh evaluations per move.
-	layerMemo map[layerKey]layerCost
+	// pairMats[a] is the dense (producer choice x consumer choice) matrix
+	// of AuthBlock costs and assignments for the tensor layer a shares with
+	// its in-segment successor; nil until first needed. Cross-layer runs
+	// precompute every entry before annealing, making lookups lock-free;
+	// other algorithms fill entries lazily on the serial path.
+	pairMats []*pairMatrix
+
+	// layerMemos[li] is the dense memo of layer li's scheduled cost indexed
+	// by (choice, prevChoice, nextChoice); an empty entries slice means
+	// unmemoised.
+	layerMemos []layerMemo
+
 	// layerEvals counts non-memoised layer evaluations (observability for
-	// the annealing benchmarks).
-	layerEvals int64
-	// memoOff disables layerMemo (benchmarks of the unmemoised path only).
+	// the annealing benchmarks); atomic because segments anneal in parallel.
+	layerEvals atomic.Int64
+	// memoOff disables the layer memo (benchmarks of the unmemoised path).
 	memoOff bool
+	// useReference routes pair evaluations through the retained
+	// pre-batching authblock search (cold-cache benchmark baseline).
+	useReference bool
 }
 
-// layerKey is the full dependency set of one layer's scheduled cost: its
-// own schedule choice plus the choices of its in-segment neighbours (-1
-// when the layer starts/ends its segment).
-type layerKey struct {
-	li, ci, cp, cn int
+// newRun precomputes the neighbour tables and allocates the per-layer state.
+func newRun(s *Scheduler, net *workload.Network, alg Algorithm) *run {
+	n := net.NumLayers()
+	r := &run{
+		s:          s,
+		net:        net,
+		alg:        alg,
+		candidates: make([][]mapper.Candidate, n),
+		prevOf:     make([]int, n),
+		nextOf:     make([]int, n),
+		pairMats:   make([]*pairMatrix, n),
+		layerMemos: make([]layerMemo, n),
+	}
+	for i := 0; i < n; i++ {
+		r.prevOf[i], r.nextOf[i] = -1, -1
+	}
+	for _, seg := range net.Segments {
+		for pos, li := range seg {
+			if pos > 0 {
+				r.prevOf[li] = seg[pos-1]
+			}
+			if pos+1 < len(seg) {
+				r.nextOf[li] = seg[pos+1]
+			}
+		}
+	}
+	return r
+}
+
+// layerMemo is the dense per-layer evaluation memo. The full dependency set
+// of one layer's scheduled cost is (choice, prevChoice, nextChoice) — a
+// single-layer annealing move invalidates nothing and misses at most three
+// slots — and the dense indexing replaces the former map[layerKey] with
+// pure array arithmetic.
+type layerMemo struct {
+	// entries is the (choice, prevChoice+1, nextChoice+1) row-major memo;
+	// cycles < 0 marks an empty slot.
+	entries []layerCost
+	// kp1, kn1 are the neighbour index strides (neighbour candidate count
+	// plus one for the -1 boundary sentinel).
+	kp1, kn1 int
 }
 
 // layerCost is the memoised evaluation result.
@@ -161,62 +226,35 @@ type layerCost struct {
 	energyPJ float64
 }
 
-type pairKey struct {
-	producer, consumer             int
-	producerChoice, consumerChoice int
-}
-
-// pairCosts evaluates (with memoisation) the AuthBlock costs of the shared
-// tensor between in-segment layers a -> b under the current algorithm.
-func (r *run) pairCosts(a, b, ca, cb int) (authblock.Costs, authblock.Assignment) {
-	key := pairKey{producer: a, consumer: b, producerChoice: ca, consumerChoice: cb}
-	if c, ok := r.pairCache[key]; ok {
-		return c, r.assignFor(key)
+// prepareLayerMemos sizes the dense memos for every layer of the given
+// segments (no-op when memoisation is disabled).
+func (r *run) prepareLayerMemos(segs [][]int) {
+	if r.memoOff {
+		return
 	}
-	la, lb := &r.net.Layers[a], &r.net.Layers[b]
-	p := producerGrid(la, r.candidates[a][ca].Mapping)
-	c := consumerGrid(lb, r.candidates[b][cb].Mapping)
-
-	var costs authblock.Costs
-	var assign authblock.Assignment
-	if r.alg == CryptTileSingle {
-		costs, _ = authblock.TileAsAuthBlockCached(p, c, r.s.Params)
-		assign = authblock.Assignment{Orientation: authblock.AlongQ, U: num.MulInt(num.MulInt(p.TileC, p.TileH), p.TileW)}
-	} else {
-		res := authblock.OptimalCached(p, c, r.s.Params)
-		costs, assign = res.Costs, res.Assignment
+	for _, seg := range segs {
+		for _, li := range seg {
+			ki := len(r.candidates[li])
+			kp1, kn1 := 1, 1
+			if p := r.prevOf[li]; p >= 0 {
+				kp1 = len(r.candidates[p]) + 1
+			}
+			if n := r.nextOf[li]; n >= 0 {
+				kn1 = len(r.candidates[n]) + 1
+			}
+			entries := make([]layerCost, num.MulInt(num.MulInt(ki, kp1), kn1))
+			for i := range entries {
+				entries[i].cycles = -1
+			}
+			r.layerMemos[li] = layerMemo{entries: entries, kp1: kp1, kn1: kn1}
+		}
 	}
-	r.pairCache[key] = costs
-	if r.pairAssign == nil {
-		r.pairAssign = map[pairKey]authblock.Assignment{}
-	}
-	r.pairAssign[key] = assign
-	return costs, assign
-}
-
-func (r *run) assignFor(key pairKey) authblock.Assignment {
-	if r.pairAssign == nil {
-		return authblock.Assignment{}
-	}
-	return r.pairAssign[key]
 }
 
 // neighbors returns the segment neighbours of layer index li: the in-segment
 // predecessor and successor, or -1.
 func (r *run) neighbors(li int) (prev, next int) {
-	prev, next = -1, -1
-	seg, pos := r.net.SegmentOf(li)
-	if seg < 0 {
-		return prev, next
-	}
-	layers := r.net.Segments[seg]
-	if pos > 0 {
-		prev = layers[pos-1]
-	}
-	if pos+1 < len(layers) {
-		next = layers[pos+1]
-	}
-	return prev, next
+	return r.prevOf[li], r.nextOf[li]
 }
 
 // choicesAt resolves the choice vector into the explicit (choice,
@@ -290,6 +328,7 @@ func (r *run) layerResultAt(li, ci, cp, cn int) LayerResult {
 	}
 	return LayerResult{
 		Index:           li,
+		Choice:          ci,
 		Mapping:         m,
 		Stats:           stats,
 		Overhead:        ov,
@@ -304,33 +343,34 @@ func (r *run) layerResult(li int, choices []int) LayerResult {
 }
 
 // layerEval returns the scheduled cycles and energy of layer li under
-// explicit choices, memoised on the layer's full dependency set.
+// explicit choices, memoised densely on the layer's full dependency set. A
+// hit is two array reads; concurrent segments only touch disjoint layers,
+// so the memo needs no locks.
 func (r *run) layerEval(li, ci, cp, cn int) layerCost {
-	key := layerKey{li: li, ci: ci, cp: cp, cn: cn}
-	if !r.memoOff {
-		if v, ok := r.layerMemo[key]; ok {
-			return v
-		}
+	m := &r.layerMemos[li]
+	if m.entries == nil {
+		r.layerEvals.Add(1)
+		lr := r.layerResultAt(li, ci, cp, cn)
+		return layerCost{cycles: lr.Stats.Cycles, energyPJ: lr.Stats.EnergyPJ}
 	}
-	r.layerEvals++
+	idx := num.MulInt(num.MulInt(ci, m.kp1)+cp+1, m.kn1) + cn + 1
+	if v := m.entries[idx]; v.cycles >= 0 {
+		return v
+	}
+	r.layerEvals.Add(1)
 	lr := r.layerResultAt(li, ci, cp, cn)
 	v := layerCost{cycles: lr.Stats.Cycles, energyPJ: lr.Stats.EnergyPJ}
-	if !r.memoOff {
-		if r.layerMemo == nil {
-			r.layerMemo = map[layerKey]layerCost{}
-		}
-		r.layerMemo[key] = v
-	}
+	m.entries[idx] = v
 	return v
 }
 
 // segmentProblem adapts one segment to the annealing interface. The cost is
 // the total latency of the segment's layers (cycles), including
-// authentication overhead, under the tentative choices.
+// authentication overhead, under the tentative choices. Each instance is
+// self-contained, so independent segments can anneal concurrently.
 type segmentProblem struct {
 	run     *run
 	segment []int
-	choices []int // full-network choice vector (shared scratch)
 }
 
 func (p *segmentProblem) NumLayers() int { return len(p.segment) }
@@ -340,38 +380,43 @@ func (p *segmentProblem) NumChoices(i int) int {
 }
 
 func (p *segmentProblem) Cost(choices []int) float64 {
-	for j, li := range p.segment {
-		p.choices[li] = choices[j]
-	}
 	return p.costWith(choices, -1, 0)
 }
 
 // DeltaCost implements anneal.Incremental: the cost of `choices` with
 // component i moved to next. A single-layer move perturbs only that layer
 // and its two in-segment neighbours, so at most three layers need a fresh
-// evaluation — everything else is a memo hit.
+// evaluation — everything else is a dense-memo hit, and the steady-state
+// move allocates nothing.
 func (p *segmentProblem) DeltaCost(choices []int, i, next int) float64 {
 	return p.costWith(choices, i, next)
 }
 
 // costWith evaluates the segment cost of `choices` with component i
 // overridden to next (i < 0 means no override). Per-layer values come from
-// the run's layer memo and are summed in segment order, so the result is
-// bitwise identical however the same state is reached.
+// the run's dense layer memo and are summed in segment order, so the result
+// is bitwise identical however the same state is reached.
 func (p *segmentProblem) costWith(choices []int, i, next int) float64 {
-	at := func(j int) int {
-		if j < 0 || j >= len(p.segment) {
-			return -1
-		}
-		if j == i {
-			return next
-		}
-		return choices[j]
-	}
+	seg := p.segment
 	var cycles int64
 	var energy float64
-	for j, li := range p.segment {
-		c := p.run.layerEval(li, at(j), at(j-1), at(j+1))
+	for j, li := range seg {
+		ci := choices[j]
+		if j == i {
+			ci = next
+		}
+		cp, cn := -1, -1
+		if j > 0 {
+			if cp = choices[j-1]; j-1 == i {
+				cp = next
+			}
+		}
+		if j+1 < len(seg) {
+			if cn = choices[j+1]; j+1 == i {
+				cn = next
+			}
+		}
+		c := p.run.layerEval(li, ci, cp, cn)
 		cycles += c.cycles
 		energy += c.energyPJ
 	}
