@@ -6,6 +6,7 @@
 package secureloop_test
 
 import (
+	"context"
 	"testing"
 
 	"secureloop/internal/anneal"
@@ -139,7 +140,10 @@ func BenchmarkAblationObjective(b *testing.B) {
 // (security/traffic trade-off beyond the paper's fixed hash size).
 func BenchmarkAblationHashSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.HashSizeStudy(experiments.Options{Quick: testing.Short()})
+		t, err := experiments.HashSizeStudy(context.Background(), experiments.Options{Quick: testing.Short()})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 3 {
 			b.Fatalf("%d rows", len(t.Rows))
 		}

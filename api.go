@@ -13,6 +13,17 @@
 //	s := secureloop.NewScheduler(spec, crypto)
 //	res, err := s.ScheduleNetwork(net, secureloop.CryptOptCross)
 //
+// Long searches are cancellable: ScheduleNetworkCtx accepts a
+// context.Context, stops at the next stage boundary when it is cancelled,
+// and returns ctx.Err() wrapped with the stage the search reached. Progress
+// is observable by setting the scheduler's Observe field to an Observer
+// (for example one built with NewProgressLogger):
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	s.Observe = secureloop.NewProgressLogger(os.Stderr)
+//	res, err := s.ScheduleNetworkCtx(ctx, net, secureloop.CryptOptCross)
+//
 // The result carries per-layer loopnest schedules, AuthBlock assignments,
 // latency/energy statistics and the authentication-traffic breakdown.
 // Deeper functionality (the AuthBlock search, the roofline model, the
@@ -21,9 +32,12 @@
 package secureloop
 
 import (
+	"io"
+
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/cryptoengine"
+	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
 
@@ -68,6 +82,16 @@ type CryptoConfig = cryptoengine.Config
 
 // CryptoEngine is one AES-GCM engine microarchitecture (Table 2).
 type CryptoEngine = cryptoengine.EngineArch
+
+// Observer receives progress events from a running search (stage start/end,
+// per-layer completion, annealing progress). Implementations must be safe
+// for concurrent use; events carry no wall-clock state, so an observed run
+// stays byte-identical to an unobserved one.
+type Observer = obs.Observer
+
+// NewProgressLogger returns an Observer that renders progress events as
+// human-readable lines on w (the cmd binaries' -progress output).
+func NewProgressLogger(w io.Writer) Observer { return obs.NewLogger(w) }
 
 // Network is a DNN workload with its segment structure.
 type Network = workload.Network

@@ -7,12 +7,17 @@
 package secureloop_test
 
 import (
+	"context"
 	"strconv"
 	"testing"
 
 	"secureloop/internal/core"
 	"secureloop/internal/experiments"
 )
+
+// benchCtx is the context every macro benchmark runs under; benchmarks are
+// never cancelled, so results stay byte-identical to the ctx-less paths.
+func benchCtx() context.Context { return context.Background() }
 
 // benchOpts selects full-fidelity runs; use -short for reduced fidelity.
 func benchOpts() experiments.Options {
@@ -70,7 +75,10 @@ func bestU(b *testing.B, t experiments.Table) float64 {
 // MobileNetV2) and reports the speedup at the paper's chosen k=6.
 func BenchmarkFig10AnnealK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig10(benchOpts())
+		t, err := experiments.Fig10(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range t.Rows {
 			if r[0] == "6" {
 				v, _ := strconv.ParseFloat(r[1], 64)
@@ -84,7 +92,10 @@ func BenchmarkFig10AnnealK(b *testing.B) {
 // comparison) and reports the normalized latencies and headline gains.
 func BenchmarkFig11Schedulers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, _, results := experiments.Fig11(benchOpts())
+		_, _, results, err := experiments.Fig11(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range results {
 			b.ReportMetric(r.NormLatency[core.CryptTileSingle], r.Workload+"_tile")
 			b.ReportMetric(r.NormLatency[core.CryptOptCross], r.Workload+"_cross")
@@ -107,7 +118,10 @@ func BenchmarkFig11Schedulers(b *testing.B) {
 // BenchmarkFig12Roofline regenerates Figure 12.
 func BenchmarkFig12Roofline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig12(benchOpts())
+		t, err := experiments.Fig12(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) < 12 {
 			b.Fatalf("%d roofline rows", len(t.Rows))
 		}
@@ -118,7 +132,10 @@ func BenchmarkFig12Roofline(b *testing.B) {
 // configurations) and reports the MobileNetV2 slowdown spread.
 func BenchmarkFig13CryptoConfigs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig13(benchOpts())
+		t, err := experiments.Fig13(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		var worst float64
 		for _, r := range t.Rows {
 			v, _ := strconv.ParseFloat(r[2], 64)
@@ -133,7 +150,10 @@ func BenchmarkFig13CryptoConfigs(b *testing.B) {
 // BenchmarkFig14PEScaling regenerates Figure 14 (PE array scaling).
 func BenchmarkFig14PEScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig14(benchOpts())
+		t, err := experiments.Fig14(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 9 {
 			b.Fatalf("%d rows", len(t.Rows))
 		}
@@ -143,7 +163,10 @@ func BenchmarkFig14PEScaling(b *testing.B) {
 // BenchmarkFig15BufferScaling regenerates Figure 15 (buffer scaling).
 func BenchmarkFig15BufferScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.Fig15(benchOpts())
+		t, err := experiments.Fig15(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 9 {
 			b.Fatalf("%d rows", len(t.Rows))
 		}
@@ -153,7 +176,10 @@ func BenchmarkFig15BufferScaling(b *testing.B) {
 // BenchmarkDRAMTechnologies regenerates the Section 5.2 DRAM study.
 func BenchmarkDRAMTechnologies(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t := experiments.DRAMStudy(benchOpts())
+		t, err := experiments.DRAMStudy(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(t.Rows) != 3 {
 			b.Fatalf("%d DRAM rows", len(t.Rows))
 		}
@@ -164,7 +190,10 @@ func BenchmarkDRAMTechnologies(b *testing.B) {
 // reports the Pareto-front size.
 func BenchmarkFig16Pareto(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_, points := experiments.Fig16(benchOpts())
+		_, points, err := experiments.Fig16(benchCtx(), benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		front := 0
 		for _, p := range points {
 			if p.Pareto {

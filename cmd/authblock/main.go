@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"secureloop/internal/authblock"
 	"secureloop/internal/num"
@@ -35,6 +38,10 @@ func main() {
 		sweepO = flag.String("sweep", "horizontal", "orientation to print the sweep for: horizontal, vertical, channel")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the sweep between block-size batches.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var C, H, W int
 	mustScan(*tensor, "%dx%dx%d", &C, &H, &W)
@@ -83,12 +90,19 @@ func main() {
 
 	fmt.Printf("%s sweep (u = 1..%d):\n", orient, *maxU)
 	fmt.Printf("%6s %14s %14s %14s\n", "u", "redundant_bits", "tag_bits", "total_bits")
-	for _, r := range authblock.Sweep(p, c, orient, *maxU, par) {
+	sweep, err := authblock.SweepCtx(ctx, p, c, orient, *maxU, par)
+	if err != nil {
+		fatal(err)
+	}
+	for _, r := range sweep {
 		total := r.Costs.RedundantBits + r.Costs.HashReadBits
 		fmt.Printf("%6d %14d %14d %14d\n", r.Assignment.U, r.Costs.RedundantBits, r.Costs.HashReadBits, total)
 	}
 
-	opt := authblock.Optimal(p, c, par)
+	opt, err := authblock.OptimalCtx(ctx, p, c, par)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("\noptimal assignment: %s, u=%d (hash %d bits, redundant %d bits, total %d bits)\n",
 		opt.Assignment.Orientation, opt.Assignment.U,
 		opt.Costs.HashBitsTotal(), opt.Costs.RedundantBits, opt.Costs.Total())
@@ -128,6 +142,10 @@ func mustScan(s, format string, args ...interface{}) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "authblock: interrupted:", err)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "authblock:", err)
 	os.Exit(1)
 }

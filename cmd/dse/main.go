@@ -6,19 +6,26 @@
 // Usage:
 //
 //	dse [-workload alexnet] [-iters 200] [-pareto-only] [-csv out.csv]
-//	    [-cpuprofile cpu.out] [-memprofile mem.out]
+//	    [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -progress streams one line per completed design point to stderr. Ctrl-C
+// cancels the sweep: no new design points launch, in-flight points stop at
+// their next stage boundary, and the error names the interrupted stage.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/dse"
-	"secureloop/internal/prof"
+	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
 
@@ -28,12 +35,20 @@ func main() {
 		iters        = flag.Int("iters", 200, "annealing iterations per design point")
 		paretoOnly   = flag.Bool("pareto-only", false, "print only the Pareto front")
 		csvPath      = flag.String("csv", "", "write the sweep as CSV")
+		progress     = flag.Bool("progress", false, "stream per-design-point progress to stderr")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	hooks := obs.Options{CPUProfile: *cpuprofile, MemProfile: *memprofile}
+	if *progress {
+		hooks.Observer = obs.NewLogger(os.Stderr)
+	}
+	stopProf, err := hooks.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -46,9 +61,13 @@ func main() {
 	specs, cryptos := dse.Figure16Space(arch.Base())
 
 	fmt.Fprintf(os.Stderr, "evaluating %d design points...\n", len(specs)*len(cryptos))
-	points, err := dse.SweepOpts(net, specs, cryptos, core.CryptOptCross,
-		dse.Options{AnnealIterations: *iters})
+	points, err := dse.SweepOptsCtx(ctx, net, specs, cryptos, core.CryptOptCross,
+		dse.Options{AnnealIterations: *iters, Observe: hooks.Observer})
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintf(os.Stderr, "dse: interrupted: %v\n", err)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	dse.MarkPareto(points)

@@ -4,18 +4,25 @@
 // Usage:
 //
 //	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-out results] [-cachestats]
-//	            [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -quick trades fidelity for speed (fewer annealing iterations and seeds);
 // use it for smoke runs. The full run regenerates every experiment at
-// paper-scale settings. -cachestats reports the memoisation-layer counters
-// (mapper search cache, AuthBlock memos) after the run.
+// paper-scale settings. -progress streams per-stage scheduling progress to
+// stderr. -cachestats reports the memoisation-layer counters (mapper search
+// cache, AuthBlock memos) after the run.
+//
+// Ctrl-C cancels the run: in-flight schedules stop at their next stage
+// boundary and the error names the stage that was interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"time"
@@ -23,7 +30,7 @@ import (
 	"secureloop/internal/authblock"
 	"secureloop/internal/experiments"
 	"secureloop/internal/mapper"
-	"secureloop/internal/prof"
+	"secureloop/internal/obs"
 )
 
 func main() {
@@ -31,28 +38,46 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced-fidelity fast run")
 	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
 	cachestats := flag.Bool("cachestats", false, "report cache hit/miss counters after the run")
+	progress := flag.Bool("progress", false, "stream scheduling progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	hooks := obs.Options{CPUProfile: *cpuprofile, MemProfile: *memprofile}
+	if *progress {
+		hooks.Observer = obs.NewLogger(os.Stderr)
+	}
+	stopProf, err := hooks.Start()
 	if err != nil {
 		fatal(err)
 	}
 	defer stopProf()
 
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Observe: hooks.Observer}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
 	}
 	all := want["all"]
-	run := func(id string, fn func() []experiments.Table) {
+	run := func(id string, fn func() ([]experiments.Table, error)) {
 		if !all && !want[id] {
 			return
 		}
 		start := time.Now()
-		for _, t := range fn() {
+		tables, err := fn()
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// The wrapped error names the experiment and the stage it
+				// reached when Ctrl-C arrived.
+				fmt.Fprintf(os.Stderr, "experiments: interrupted: %v\n", err)
+				os.Exit(130)
+			}
+			fatal(err)
+		}
+		for _, t := range tables {
 			fmt.Println(t.Text())
 			if *out != "" {
 				if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -68,27 +93,48 @@ func main() {
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
-	run("3", func() []experiments.Table { return []experiments.Table{experiments.Fig3()} })
-	run("t2", func() []experiments.Table { return []experiments.Table{experiments.Table2()} })
-	run("9", func() []experiments.Table {
+	run("3", func() ([]experiments.Table, error) { return []experiments.Table{experiments.Fig3()}, nil })
+	run("t2", func() ([]experiments.Table, error) { return []experiments.Table{experiments.Table2()}, nil })
+	run("9", func() ([]experiments.Table, error) {
 		h, v := experiments.Fig9()
-		return []experiments.Table{h, v}
+		return []experiments.Table{h, v}, nil
 	})
-	run("10", func() []experiments.Table { return []experiments.Table{experiments.Fig10(opts)} })
-	run("11", func() []experiments.Table {
-		a, b, _ := experiments.Fig11(opts)
-		return []experiments.Table{a, b}
+	run("10", func() ([]experiments.Table, error) {
+		t, err := experiments.Fig10(ctx, opts)
+		return []experiments.Table{t}, err
 	})
-	run("12", func() []experiments.Table { return []experiments.Table{experiments.Fig12(opts)} })
-	run("13", func() []experiments.Table { return []experiments.Table{experiments.Fig13(opts)} })
-	run("14", func() []experiments.Table { return []experiments.Table{experiments.Fig14(opts)} })
-	run("15", func() []experiments.Table { return []experiments.Table{experiments.Fig15(opts)} })
-	run("dram", func() []experiments.Table { return []experiments.Table{experiments.DRAMStudy(opts)} })
-	run("16", func() []experiments.Table {
-		t, _ := experiments.Fig16(opts)
-		return []experiments.Table{t}
+	run("11", func() ([]experiments.Table, error) {
+		a, b, _, err := experiments.Fig11(ctx, opts)
+		return []experiments.Table{a, b}, err
 	})
-	run("hashsize", func() []experiments.Table { return []experiments.Table{experiments.HashSizeStudy(opts)} })
+	run("12", func() ([]experiments.Table, error) {
+		t, err := experiments.Fig12(ctx, opts)
+		return []experiments.Table{t}, err
+	})
+	run("13", func() ([]experiments.Table, error) {
+		t, err := experiments.Fig13(ctx, opts)
+		return []experiments.Table{t}, err
+	})
+	run("14", func() ([]experiments.Table, error) {
+		t, err := experiments.Fig14(ctx, opts)
+		return []experiments.Table{t}, err
+	})
+	run("15", func() ([]experiments.Table, error) {
+		t, err := experiments.Fig15(ctx, opts)
+		return []experiments.Table{t}, err
+	})
+	run("dram", func() ([]experiments.Table, error) {
+		t, err := experiments.DRAMStudy(ctx, opts)
+		return []experiments.Table{t}, err
+	})
+	run("16", func() ([]experiments.Table, error) {
+		t, _, err := experiments.Fig16(ctx, opts)
+		return []experiments.Table{t}, err
+	})
+	run("hashsize", func() ([]experiments.Table, error) {
+		t, err := experiments.HashSizeStudy(ctx, opts)
+		return []experiments.Table{t}, err
+	})
 
 	if *cachestats {
 		ms := mapper.CacheStats()

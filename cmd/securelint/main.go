@@ -23,20 +23,25 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"secureloop/internal/lint"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// Ctrl-C stops a module-wide run at the next package boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("securelint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -55,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	res, err := lint.Run(lint.Config{
+	res, err := lint.RunCtx(ctx, lint.Config{
 		Patterns:     fs.Args(),
 		Checks:       *checks,
 		IncludeTests: *tests,

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -44,7 +45,7 @@ func blocks(total, per int) int {
 func TestSeededViolationFails(t *testing.T) {
 	dir := writeScratch(t, seededViolation)
 	var out, errOut strings.Builder
-	code := run([]string{dir}, &out, &errOut)
+	code := run(context.Background(), []string{dir}, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
@@ -57,7 +58,7 @@ func TestSeededViolationFails(t *testing.T) {
 func TestCleanExitsZero(t *testing.T) {
 	dir := writeScratch(t, cleanSource)
 	var out, errOut strings.Builder
-	code := run([]string{dir}, &out, &errOut)
+	code := run(context.Background(), []string{dir}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0; stdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
 	}
@@ -70,7 +71,7 @@ func TestCleanExitsZero(t *testing.T) {
 func TestJSONOutput(t *testing.T) {
 	dir := writeScratch(t, seededViolation)
 	var out, errOut strings.Builder
-	code := run([]string{"-json", dir}, &out, &errOut)
+	code := run(context.Background(), []string{"-json", dir}, &out, &errOut)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1; stderr:\n%s", code, errOut.String())
 	}
@@ -99,10 +100,10 @@ func TestJSONOutput(t *testing.T) {
 // TestListChecks verifies -list names the full suite.
 func TestListChecks(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+	if code := run(context.Background(), []string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"ceildiv", "overflowmul", "mapdet", "lockguard", "floateq"} {
+	for _, name := range []string{"ceildiv", "overflowmul", "mapdet", "lockguard", "floateq", "ctxfirst"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
@@ -112,10 +113,25 @@ func TestListChecks(t *testing.T) {
 // TestUsageErrors verifies exit code 2 for bad invocations.
 func TestUsageErrors(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-checks", "nosuch", "."}, &out, &errOut); code != 2 {
+	if code := run(context.Background(), []string{"-checks", "nosuch", "."}, &out, &errOut); code != 2 {
 		t.Fatalf("unknown check: exit = %d, want 2", code)
 	}
-	if code := run([]string{"-nosuchflag"}, &out, &errOut); code != 2 {
+	if code := run(context.Background(), []string{"-nosuchflag"}, &out, &errOut); code != 2 {
 		t.Fatalf("unknown flag: exit = %d, want 2", code)
+	}
+}
+
+// TestCancelledRunFails verifies a pre-cancelled context aborts the run with
+// the load/usage exit code before any package is analyzed.
+func TestCancelledRunFails(t *testing.T) {
+	dir := writeScratch(t, cleanSource)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errOut strings.Builder
+	if code := run(ctx, []string{dir}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "context canceled") {
+		t.Fatalf("stderr does not report cancellation:\n%s", errOut.String())
 	}
 }

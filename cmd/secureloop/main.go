@@ -14,9 +14,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"secureloop/internal/arch"
@@ -44,6 +47,11 @@ func main() {
 		objective    = flag.String("objective", "latency", "fine-tuning objective: latency or edp")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the schedule at its next stage boundary; the error
+	// printed on exit names the stage that was interrupted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	net, err := loadWorkload(*workloadName)
 	if err != nil {
@@ -76,7 +84,7 @@ func main() {
 	}
 
 	if *compare {
-		runCompare(s, net)
+		runCompare(ctx, s, net)
 		return
 	}
 
@@ -84,7 +92,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := s.ScheduleNetwork(net, alg)
+	res, err := s.ScheduleNetworkCtx(ctx, net, alg)
 	if err != nil {
 		fatal(err)
 	}
@@ -106,15 +114,15 @@ func main() {
 	}
 }
 
-func runCompare(s *core.Scheduler, net *workload.Network) {
-	base, err := s.ScheduleNetwork(net, core.Unsecure)
+func runCompare(ctx context.Context, s *core.Scheduler, net *workload.Network) {
+	base, err := s.ScheduleNetworkCtx(ctx, net, core.Unsecure)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%-20s %14s %10s %12s %12s\n", "algorithm", "cycles", "norm", "auth_Mbit", "EDP")
 	fmt.Printf("%-20s %14d %10.3f %12s %12.4g\n", "Unsecure", base.Total.Cycles, 1.0, "-", base.Total.EDP())
 	for _, alg := range core.Algorithms() {
-		res, err := s.ScheduleNetwork(net, alg)
+		res, err := s.ScheduleNetworkCtx(ctx, net, alg)
 		if err != nil {
 			fatal(err)
 		}
@@ -168,6 +176,10 @@ func parseAlg(name string) (core.Algorithm, error) {
 }
 
 func fatal(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "secureloop: interrupted:", err)
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "secureloop:", err)
 	os.Exit(1)
 }

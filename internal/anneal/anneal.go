@@ -8,8 +8,11 @@
 package anneal
 
 import (
+	"context"
 	"math"
 	"math/rand"
+
+	"secureloop/internal/obs"
 )
 
 // Problem is a discrete per-layer choice space with a global cost.
@@ -48,6 +51,13 @@ type Options struct {
 	TInit, TFinal float64
 	// Seed drives the random source; equal seeds reproduce runs exactly.
 	Seed int64
+	// Observer receives AnnealProgress events (nil means none). Emission
+	// happens at move-chunk boundaries, outside the random trajectory, so
+	// observed and unobserved runs are bitwise identical.
+	Observer obs.Observer
+	// Tag identifies this problem in emitted events (the scheduler passes
+	// the segment's first layer index).
+	Tag int
 }
 
 // DefaultOptions returns the paper's defaults: 1000 iterations.
@@ -67,11 +77,32 @@ type Result struct {
 	Accepted int
 }
 
-// Minimize runs Algorithm 1: starting from the all-top-1 state, it
-// repeatedly perturbs one layer's choice and probabilistically accepts the
-// move. It returns the best state observed.
+// moveChunk is the cancellation/progress granularity of the move loop: the
+// context is polled and progress emitted once per chunk of moves, never per
+// move, so the steady-state iteration stays free of interface calls and
+// allocations.
+const moveChunk = 64
+
+// Minimize runs Algorithm 1 to completion with a background context. It is
+// a thin wrapper over MinimizeCtx; the trajectory is identical.
 func Minimize(p Problem, opts Options) Result {
+	res, _ := MinimizeCtx(context.Background(), p, opts)
+	return res
+}
+
+// MinimizeCtx runs Algorithm 1: starting from the all-top-1 state, it
+// repeatedly perturbs one layer's choice and probabilistically accepts the
+// move. It returns the best state observed. The context is polled at
+// move-chunk boundaries; on cancellation the best state found so far is
+// returned together with ctx.Err(), so callers can either abort or keep the
+// partial result.
+func MinimizeCtx(ctx context.Context, p Problem, opts Options) (Result, error) {
 	n := p.NumLayers()
+	ob := obs.OrNop(opts.Observer)
+	if err := ctx.Err(); err != nil {
+		// Pre-cancelled: do no work, not even the initial evaluation.
+		return Result{}, err
+	}
 	cur := make([]int, n)
 	curCost := p.Cost(cur)
 	res := Result{
@@ -80,7 +111,7 @@ func Minimize(p Problem, opts Options) Result {
 		InitialCost: curCost,
 	}
 	if n == 0 || opts.Iterations <= 0 {
-		return res
+		return res, nil
 	}
 	// Layers with a single candidate cannot move; if none can, we are done.
 	// Choice counts are hoisted so the move loop never calls back through
@@ -94,7 +125,7 @@ func Minimize(p Problem, opts Options) Result {
 		}
 	}
 	if len(movable) == 0 {
-		return res
+		return res, nil
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
@@ -105,6 +136,23 @@ func Minimize(p Problem, opts Options) Result {
 	inc, incremental := p.(Incremental)
 
 	for it := 0; it < opts.Iterations; it++ {
+		// Cancellation and progress at chunk boundaries only: the check sits
+		// outside the random trajectory (no rng draw, no state change), so a
+		// run that is never cancelled is bitwise identical to the ctx-less
+		// path, and the per-move cost stays allocation-free.
+		if it%moveChunk == 0 {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			ob.AnnealProgress(obs.AnnealEvent{
+				Tag:        opts.Tag,
+				Iteration:  it,
+				Iterations: opts.Iterations,
+				Accepted:   res.Accepted,
+				Best:       res.Cost,
+			})
+		}
+
 		// Linear temperature decay (Algorithm 1 line 13).
 		frac := float64(it) / float64(opts.Iterations)
 		t := opts.TInit + (opts.TFinal-opts.TInit)*frac
@@ -145,5 +193,12 @@ func Minimize(p Problem, opts Options) Result {
 			}
 		}
 	}
-	return res
+	ob.AnnealProgress(obs.AnnealEvent{
+		Tag:        opts.Tag,
+		Iteration:  opts.Iterations,
+		Iterations: opts.Iterations,
+		Accepted:   res.Accepted,
+		Best:       res.Cost,
+	})
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package authblock
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -118,24 +119,35 @@ func ResetCaches() {
 
 // OptimalCached is Optimal with process-wide memoisation.
 func OptimalCached(p ProducerGrid, c ConsumerGrid, par Params) Result {
+	r, _ := OptimalCachedCtx(context.Background(), p, c, par)
+	return r
+}
+
+// OptimalCachedCtx is the cancellable memoised search. A search interrupted
+// by cancellation is never stored, so a cancelled request cannot seed the
+// memo with a partial (non-optimal) assignment.
+func OptimalCachedCtx(ctx context.Context, p ProducerGrid, c ConsumerGrid, par Params) (Result, error) {
 	key := cacheKey{p: p, c: c, par: par}
 	s := &optShards[key.shard()]
 	s.mu.Lock()
 	if r, ok := s.entries[key]; ok {
 		s.mu.Unlock()
 		optHits.Add(1)
-		return r
+		return r, nil
 	}
 	s.mu.Unlock()
 	optMisses.Add(1)
-	r := Optimal(p, c, par)
+	r, err := OptimalCtx(ctx, p, c, par)
+	if err != nil {
+		return r, err
+	}
 	s.mu.Lock()
 	if s.entries == nil {
 		s.entries = map[cacheKey]Result{}
 	}
 	s.entries[key] = r
 	s.mu.Unlock()
-	return r
+	return r, nil
 }
 
 // TileAsAuthBlockCached is TileAsAuthBlock with process-wide memoisation.

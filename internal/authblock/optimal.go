@@ -1,6 +1,7 @@
 package authblock
 
 import (
+	"context"
 	"sort"
 
 	"secureloop/internal/num"
@@ -105,6 +106,16 @@ func Optimal(p ProducerGrid, c ConsumerGrid, par Params) Result {
 	return OptimalOver(p, c, par, CandidateSizes(p, c))
 }
 
+// OptimalCtx is Optimal honouring a context; see OptimalOverCtx.
+func OptimalCtx(ctx context.Context, p ProducerGrid, c ConsumerGrid, par Params) (Result, error) {
+	return OptimalOverCtx(ctx, p, c, par, CandidateSizes(p, c))
+}
+
+// sizeChunk is the cancellation granularity of the candidate-size scan: the
+// context is polled once per chunk of sizes, never per size, so the pruned
+// scan stays branch-lean.
+const sizeChunk = 32
+
 // OptimalOver is Optimal with an explicit candidate-size list.
 //
 // The search runs on the shared pair decomposition: the class structure is
@@ -121,6 +132,19 @@ func Optimal(p ProducerGrid, c ConsumerGrid, par Params) Result {
 // cannot change the result. TestOptimalMatchesReference holds the proof
 // obligation against the retained OptimalReference.
 func OptimalOver(p ProducerGrid, c ConsumerGrid, par Params, sizes []int) Result {
+	res, _ := optimalOver(context.Background(), p, c, par, sizes)
+	return res
+}
+
+// OptimalOverCtx is OptimalOver honouring a context, polled once per chunk
+// of candidate sizes. On cancellation it returns the best assignment found
+// so far together with ctx.Err(); callers must not treat the partial result
+// as optimal.
+func OptimalOverCtx(ctx context.Context, p ProducerGrid, c ConsumerGrid, par Params, sizes []int) (Result, error) {
+	return optimalOver(ctx, p, c, par, sizes)
+}
+
+func optimalOver(ctx context.Context, p ProducerGrid, c ConsumerGrid, par Params, sizes []int) (Result, error) {
 	d := decompositionFor(p, c)
 	best := Result{Assignment: Assignment{Orientation: AlongQ, U: 1}}
 	first := true
@@ -157,10 +181,15 @@ func OptimalOver(p ProducerGrid, c ConsumerGrid, par Params, sizes []int) Result
 			}
 		}
 	}
-	for _, u := range sizes {
+	for i, u := range sizes {
+		if i%sizeChunk == 0 {
+			if err := ctx.Err(); err != nil {
+				return best, err
+			}
+		}
 		consider(u)
 	}
-	return best
+	return best, nil
 }
 
 // skipOrientation prunes orientations that are degenerate for the tile
@@ -178,15 +207,28 @@ func skipOrientation(p ProducerGrid, o Orientation) bool {
 // Sweep evaluates every block size in [1, max] for one orientation,
 // returning per-size costs — the Figure 9 visualisation.
 func Sweep(p ProducerGrid, c ConsumerGrid, o Orientation, maxU int, par Params) []Result {
+	out, _ := SweepCtx(context.Background(), p, c, o, maxU, par)
+	return out
+}
+
+// SweepCtx is Sweep honouring a context, polled once per chunk of block
+// sizes; on cancellation the sizes evaluated so far are returned with
+// ctx.Err().
+func SweepCtx(ctx context.Context, p ProducerGrid, c ConsumerGrid, o Orientation, maxU int, par Params) ([]Result, error) {
 	d := decompositionFor(p, c)
 	out := make([]Result, 0, maxU)
 	for u := 1; u <= maxU; u++ {
+		if u%sizeChunk == 0 {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
 		out = append(out, Result{
 			Assignment: Assignment{Orientation: o, U: u},
 			Costs:      d.evaluate(o, u, p.HashWriteBits(u, par), c.FetchesPerTile, par),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // TileAsAuthBlock evaluates the prior-work baseline strategy (Section 3.2):

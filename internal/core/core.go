@@ -15,6 +15,7 @@ import (
 	"secureloop/internal/cryptoengine"
 	"secureloop/internal/mapping"
 	"secureloop/internal/model"
+	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
 
@@ -97,6 +98,11 @@ type Scheduler struct {
 	// step (<= 0 means one worker per available CPU). Set to 1 to force the
 	// serial path; results are identical either way.
 	MaxParallel int
+	// Observe receives progress events from every stage of the run (nil
+	// means none). Event emission is wall-clock-free and happens outside
+	// the random annealing trajectory, so an observed run returns results
+	// byte-identical to an unobserved one.
+	Observe obs.Observer
 }
 
 // New returns a scheduler with the paper's default knobs: k=6 and 1000

@@ -6,6 +6,7 @@ import (
 
 	"secureloop/internal/authblock"
 	"secureloop/internal/num"
+	"secureloop/internal/obs"
 )
 
 // pairEntry couples the AuthBlock costs of one (producer choice, consumer
@@ -47,15 +48,23 @@ func (r *run) pairCosts(a, b, ca, cb int) (authblock.Costs, authblock.Assignment
 	m := r.matrixFor(a, b)
 	e := &m.entries[ca*m.kb+cb]
 	if !e.ok {
-		e.costs, e.assign = r.computePair(a, b, ca, cb)
+		costs, assign, err := r.computePair(a, b, ca, cb)
+		if err != nil {
+			// Cancelled mid-search: hand back the partial value WITHOUT
+			// memoising it. The scheduler's per-layer boundary checks see
+			// ctx.Err() and discard the whole run before the value can
+			// reach a caller.
+			return costs, assign
+		}
+		e.costs, e.assign = costs, assign
 		e.ok = true
 	}
 	return e.costs, e.assign
 }
 
 // computePair evaluates the AuthBlock regime of the tensor between layers
-// a -> b under explicit candidate choices.
-func (r *run) computePair(a, b, ca, cb int) (authblock.Costs, authblock.Assignment) {
+// a -> b under explicit candidate choices, honouring the run's context.
+func (r *run) computePair(a, b, ca, cb int) (authblock.Costs, authblock.Assignment, error) {
 	la, lb := &r.net.Layers[a], &r.net.Layers[b]
 	p := producerGrid(la, r.candidates[a][ca].Mapping)
 	c := consumerGrid(lb, r.candidates[b][cb].Mapping)
@@ -66,13 +75,13 @@ func (r *run) computePair(a, b, ca, cb int) (authblock.Costs, authblock.Assignme
 			Orientation: authblock.AlongQ,
 			U:           num.MulInt(num.MulInt(p.TileC, p.TileH), p.TileW),
 		}
-		return costs, assign
+		return costs, assign, nil
 	case r.useReference:
 		res := authblock.OptimalReference(p, c, r.s.Params)
-		return res.Costs, res.Assignment
+		return res.Costs, res.Assignment, nil
 	default:
-		res := authblock.OptimalCached(p, c, r.s.Params)
-		return res.Costs, res.Assignment
+		res, err := authblock.OptimalCachedCtx(r.ctx, p, c, r.s.Params)
+		return res.Costs, res.Assignment, err
 	}
 }
 
@@ -82,7 +91,14 @@ func (r *run) computePair(a, b, ca, cb int) (authblock.Costs, authblock.Assignme
 // one distinct matrix slot, so no synchronisation beyond the final barrier
 // is needed, and the result is identical at any parallelism: every entry is
 // a pure function of its (producer, consumer, choices) tuple.
-func (r *run) precomputePairMatrices(segs [][]int, workers int) {
+//
+// The run's context is polled between jobs (each job is one whole optimal
+// search — the natural batch boundary); on cancellation the workers stop
+// claiming jobs, the partial matrices are left unmemoised past the filled
+// entries, and r.ctx.Err() is returned. Worker bodies are guarded, so an
+// invariant panic in the AuthBlock cost model fails the run, not the
+// process.
+func (r *run) precomputePairMatrices(segs [][]int, workers int) error {
 	type pairJob struct{ a, b, ca, cb int }
 	var jobs []pairJob
 	for _, seg := range segs {
@@ -99,29 +115,48 @@ func (r *run) precomputePairMatrices(segs [][]int, workers int) {
 		}
 	}
 	if len(jobs) == 0 {
-		return
+		return r.ctx.Err()
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	errs := make([]error, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
+			errs[w] = obs.Guard(func() error {
+				for r.ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return nil
+					}
+					j := jobs[i]
+					m := r.pairMats[j.a]
+					e := &m.entries[j.ca*m.kb+j.cb]
+					costs, assign, err := r.computePair(j.a, j.b, j.ca, j.cb)
+					if err != nil {
+						return err
+					}
+					e.costs, e.assign = costs, assign
+					e.ok = true
 				}
-				j := jobs[i]
-				m := r.pairMats[j.a]
-				e := &m.entries[j.ca*m.kb+j.cb]
-				e.costs, e.assign = r.computePair(j.a, j.b, j.ca, j.cb)
-				e.ok = true
-			}
-		}()
+				return nil
+			})
+		}(w)
 	}
 	wg.Wait()
+	if err := r.ctx.Err(); err != nil {
+		// Cancellation also surfaces through worker errors (the searches
+		// return ctx.Err()); report it once, as the cause.
+		return err
+	}
+	for _, werr := range errs {
+		if werr != nil {
+			return werr
+		}
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,12 +12,28 @@ import (
 	"secureloop/internal/mapper"
 	"secureloop/internal/model"
 	"secureloop/internal/num"
+	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
 
 // ScheduleNetwork runs the selected algorithm over the network and returns
-// per-layer schedules and totals.
+// per-layer schedules and totals. It is ScheduleNetworkCtx with a
+// background context; results are byte-identical.
 func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*NetworkResult, error) {
+	return s.ScheduleNetworkCtx(context.Background(), net, alg)
+}
+
+// ScheduleNetworkCtx runs the selected algorithm over the network,
+// honouring the context: every stage polls it at work-item boundaries (per
+// layer, per pair-matrix batch, per anneal move chunk), worker pools stop
+// launching on cancellation and drain their in-flight items, and the
+// returned error wraps ctx.Err() with the stage reached. No partial result
+// escapes a cancelled run, no goroutine outlives the call, and a panic
+// anywhere on the search path (the num.MulInt overflow guards, the
+// AuthBlock coverage invariants) is recovered at this boundary and surfaced
+// as an error.
+func (s *Scheduler) ScheduleNetworkCtx(ctx context.Context, net *workload.Network, alg Algorithm) (res *NetworkResult, err error) {
+	defer obs.CapturePanic(&err)
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -32,8 +49,15 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 				net.Layers[i].Name, net.Layers[i].N)
 		}
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		// Pre-cancelled: schedule nothing at all.
+		return nil, fmt.Errorf("core: %s: %w", obs.StageMapping, cerr)
+	}
 
 	run := newRun(s, net, alg)
+	run.ctx = ctx
+	run.ob = obs.OrNop(s.Observe)
+	ob := run.ob
 
 	// Step 1: crypto-aware loopnest scheduling (top-k per layer). Layers are
 	// independent here, so the searches fan out across a bounded worker
@@ -52,29 +76,11 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range net.Layers {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			run.candidates[i] = mapper.SearchCached(mapper.Request{
-				Layer: &net.Layers[i],
-				PEsX:  s.Spec.PEsX, PEsY: s.Spec.PEsY,
-				GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
-				EffectiveBytesPerCycle: effBW,
-				TopK:                   topK,
-			})
-		}(i)
+	ob.StageStart(obs.StageEvent{Stage: obs.StageMapping, Units: net.NumLayers()})
+	if err := run.scheduleLayers(workers, effBW, topK); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", obs.StageMapping, err)
 	}
-	wg.Wait()
-	for i := range net.Layers {
-		if len(run.candidates[i]) == 0 {
-			return nil, fmt.Errorf("core: no valid mapping for layer %s", net.Layers[i].Name)
-		}
-	}
+	ob.StageEnd(obs.StageEvent{Stage: obs.StageMapping, Units: net.NumLayers()})
 
 	// Choice vector: index into each layer's candidate list.
 	choices := make([]int, net.NumLayers())
@@ -98,48 +104,148 @@ func (s *Scheduler) ScheduleNetwork(net *workload.Network, alg Algorithm) (*Netw
 			// k x k AuthBlock pair-cost matrices of adjacent layers, so all
 			// matrices are computed up front, fanned out across the worker
 			// pool (entries are independent searches on disjoint slots).
-			run.precomputePairMatrices(segs, workers)
+			ob.StageStart(obs.StageEvent{Stage: obs.StageAuthBlock, Units: len(segs)})
+			if err := run.precomputePairMatrices(segs, workers); err != nil {
+				return nil, fmt.Errorf("core: %s: %w", obs.StageAuthBlock, err)
+			}
 			// Dense per-layer evaluation memos make a move pure array
 			// arithmetic; allocated before annealing so concurrent segments
 			// only touch disjoint, pre-sized slices.
 			run.prepareLayerMemos(segs)
+			ob.StageEnd(obs.StageEvent{Stage: obs.StageAuthBlock, Units: len(segs)})
 
 			// Step 3: independent segments anneal concurrently — their layer
 			// sets are disjoint, each problem carries its own scratch, and
 			// per-segment results land in disjoint slots of the choice
 			// vector, so the outcome is identical at any parallelism.
-			var awg sync.WaitGroup
-			asem := make(chan struct{}, workers)
-			for _, seg := range segs {
-				opts := s.Anneal
-				opts.Iterations = int(num.MulInt64(int64(s.Anneal.Iterations), int64(len(seg))) / int64(tunable))
-				if opts.Iterations < 30 {
-					opts.Iterations = 30
-				}
-				awg.Add(1)
-				asem <- struct{}{}
-				go func(seg []int, opts anneal.Options) {
-					defer awg.Done()
-					defer func() { <-asem }()
-					res := anneal.Minimize(&segmentProblem{run: run, segment: seg}, opts)
-					for j, li := range seg {
-						choices[li] = res.Choices[j]
-					}
-				}(seg, opts)
+			ob.StageStart(obs.StageEvent{Stage: obs.StageAnneal, Units: len(segs)})
+			if err := run.annealSegments(segs, tunable, workers, choices); err != nil {
+				return nil, fmt.Errorf("core: %s: %w", obs.StageAnneal, err)
 			}
-			awg.Wait()
+			ob.StageEnd(obs.StageEvent{Stage: obs.StageAnneal, Units: len(segs)})
 		}
 	}
 
-	// Assemble results.
+	// Assemble results. The per-layer boundary check (plus the final one)
+	// guarantees a lazily computed pair cost interrupted by cancellation can
+	// never flow into a returned result.
 	out := &NetworkResult{Network: net, Algorithm: alg}
 	for i := range net.Layers {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: %s: %w", obs.StageAssemble, cerr)
+		}
 		lr := run.layerResult(i, choices)
 		out.Layers = append(out.Layers, lr)
 		out.Total.Add(lr.Stats)
 		out.Traffic.Add(lr.Overhead)
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("core: %s: %w", obs.StageAssemble, cerr)
+	}
 	return out, nil
+}
+
+// scheduleLayers is step 1: the per-layer loopnest searches, fanned out
+// across the worker pool. Cancellation stops further launches; in-flight
+// searches stop at their own tiling-batch boundaries. Each worker body is
+// guarded, so one malformed layer fails the run without killing the
+// process.
+func (r *run) scheduleLayers(workers int, effBW float64, topK int) error {
+	s, net := r.s, r.net
+	n := net.NumLayers()
+	errs := make([]error, n)
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range net.Layers {
+		if r.ctx.Err() != nil {
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = obs.Guard(func() error {
+				cands, err := mapper.SearchCachedCtx(r.ctx, mapper.Request{
+					Layer: &net.Layers[i],
+					PEsX:  s.Spec.PEsX, PEsY: s.Spec.PEsY,
+					GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
+					EffectiveBytesPerCycle: effBW,
+					TopK:                   topK,
+				})
+				if err != nil {
+					return err
+				}
+				r.candidates[i] = cands
+				r.ob.LayerScheduled(obs.LayerEvent{
+					Stage: obs.StageMapping,
+					Index: i, Name: net.Layers[i].Name,
+					Done: int(done.Add(1)), Total: n,
+				})
+				return nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return werr
+		}
+	}
+	if err := r.ctx.Err(); err != nil {
+		return err
+	}
+	for i := range net.Layers {
+		if len(r.candidates[i]) == 0 {
+			return fmt.Errorf("no valid mapping for layer %s", net.Layers[i].Name)
+		}
+	}
+	return nil
+}
+
+// annealSegments is step 3: concurrent per-segment annealing. Each segment
+// observes the shared context through anneal.MinimizeCtx's move-chunk
+// polling; a cancelled segment's partial best is discarded.
+func (r *run) annealSegments(segs [][]int, tunable, workers int, choices []int) error {
+	errs := make([]error, len(segs))
+	var awg sync.WaitGroup
+	asem := make(chan struct{}, workers)
+	for si, seg := range segs {
+		if r.ctx.Err() != nil {
+			break
+		}
+		opts := r.s.Anneal
+		opts.Iterations = int(num.MulInt64(int64(r.s.Anneal.Iterations), int64(len(seg))) / int64(tunable))
+		if opts.Iterations < 30 {
+			opts.Iterations = 30
+		}
+		opts.Observer = r.ob
+		opts.Tag = seg[0]
+		awg.Add(1)
+		asem <- struct{}{}
+		go func(si int, seg []int, opts anneal.Options) {
+			defer awg.Done()
+			defer func() { <-asem }()
+			errs[si] = obs.Guard(func() error {
+				res, err := anneal.MinimizeCtx(r.ctx, &segmentProblem{run: r, segment: seg}, opts)
+				if err != nil {
+					return err
+				}
+				for j, li := range seg {
+					choices[li] = res.Choices[j]
+				}
+				return nil
+			})
+		}(si, seg, opts)
+	}
+	awg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return werr
+		}
+	}
+	return r.ctx.Err()
 }
 
 // run carries the per-invocation state: candidates, the dense AuthBlock
@@ -149,6 +255,13 @@ type run struct {
 	net        *workload.Network
 	alg        Algorithm
 	candidates [][]mapper.Candidate
+
+	// ctx is the run's cancellation context and ob its progress observer;
+	// newRun defaults them (background, no-op) so internal callers that
+	// build a run directly need no ceremony, and ScheduleNetworkCtx
+	// overrides both.
+	ctx context.Context
+	ob  obs.Observer
 
 	// prevOf, nextOf are each layer's in-segment neighbours (-1 at segment
 	// boundaries), precomputed so the hot path never rescans the segment
@@ -184,6 +297,8 @@ func newRun(s *Scheduler, net *workload.Network, alg Algorithm) *run {
 		s:          s,
 		net:        net,
 		alg:        alg,
+		ctx:        context.Background(),
+		ob:         obs.Nop{},
 		candidates: make([][]mapper.Candidate, n),
 		prevOf:     make([]int, n),
 		nextOf:     make([]int, n),

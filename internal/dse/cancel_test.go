@@ -1,0 +1,94 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/obs"
+	"secureloop/internal/workload"
+)
+
+// sweepObserver counts completed design points and can cancel at sweep
+// start; methods are called from concurrent workers.
+type sweepObserver struct {
+	obs.Nop
+	points       atomic.Int64
+	onStageStart func(obs.StageEvent)
+}
+
+func (s *sweepObserver) StageStart(e obs.StageEvent) {
+	if s.onStageStart != nil {
+		s.onStageStart(e)
+	}
+}
+
+func (s *sweepObserver) LayerScheduled(obs.LayerEvent) { s.points.Add(1) }
+
+func cancelSweepSpace() ([]arch.Spec, []cryptoengine.Config) {
+	base := arch.Base()
+	specs := []arch.Spec{base, base.WithPEs(14, 24)}
+	cryptos := []cryptoengine.Config{{Engine: cryptoengine.Parallel(), CountPerDatatype: 1}}
+	return specs, cryptos
+}
+
+func TestSweepCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs, cryptos := cancelSweepSpace()
+	ob := &sweepObserver{}
+	points, err := SweepOptsCtx(ctx, workload.AlexNet(), specs, cryptos, core.CryptOptCross,
+		Options{AnnealIterations: 20, Observe: ob})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(err.Error(), string(obs.StageSweep)) {
+		t.Errorf("error does not name the sweep stage: %v", err)
+	}
+	if points != nil {
+		t.Errorf("pre-cancelled sweep returned %d points", len(points))
+	}
+	if n := ob.points.Load(); n != 0 {
+		t.Errorf("pre-cancelled sweep evaluated %d design points", n)
+	}
+}
+
+func TestSweepCancelMidSweep(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	specs, cryptos := cancelSweepSpace()
+	ob := &sweepObserver{}
+	// Cancel as the sweep opens: the launch loop must not start a single
+	// design point.
+	ob.onStageStart = func(e obs.StageEvent) {
+		if e.Stage == obs.StageSweep {
+			cancel()
+		}
+	}
+	points, err := SweepOptsCtx(ctx, workload.AlexNet(), specs, cryptos, core.CryptOptCross,
+		Options{AnnealIterations: 20, Observe: ob})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if points != nil {
+		t.Error("cancelled sweep returned points")
+	}
+	if n := ob.points.Load(); n != 0 {
+		t.Errorf("%d design points completed after cancellation at sweep start", n)
+	}
+}
+
+func TestEvaluateCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	crypto := cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1}
+	_, err := EvaluateCtx(ctx, workload.AlexNet(), arch.Base(), crypto, core.CryptOptCross)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

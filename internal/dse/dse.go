@@ -6,16 +6,19 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"secureloop/internal/accelergy"
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/cryptoengine"
 	"secureloop/internal/num"
+	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
 
@@ -57,6 +60,12 @@ type Options struct {
 	// AnnealIterations overrides the cross-layer annealing iteration count
 	// when positive.
 	AnnealIterations int
+	// Observe receives sweep-level progress events: one LayerScheduled per
+	// completed design point under obs.StageSweep (nil means none). The
+	// observer is deliberately not forwarded into the per-point schedulers —
+	// dozens of concurrent runs interleaving their stage events would drown
+	// the sweep-level signal.
+	Observe obs.Observer
 }
 
 func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core.Scheduler {
@@ -71,9 +80,9 @@ func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core
 // engines. The result does not depend on the crypto config (the Unsecure
 // algorithm never reads it); one is still needed to build a valid
 // scheduler.
-func unsecureCycles(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, opt Options) (int64, error) {
+func unsecureCycles(ctx context.Context, net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, opt Options) (int64, error) {
 	s := newScheduler(spec, crypto, opt)
-	base, err := s.ScheduleNetwork(net, core.Unsecure)
+	base, err := s.ScheduleNetworkCtx(ctx, net, core.Unsecure)
 	if err != nil {
 		return 0, err
 	}
@@ -82,9 +91,9 @@ func unsecureCycles(net *workload.Network, spec arch.Spec, crypto cryptoengine.C
 
 // evaluateWithBaseline schedules the secure design and assembles the design
 // point around a precomputed unsecure baseline.
-func evaluateWithBaseline(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm, baseCycles int64, opt Options) (DesignPoint, error) {
+func evaluateWithBaseline(ctx context.Context, net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm, baseCycles int64, opt Options) (DesignPoint, error) {
 	s := newScheduler(spec, crypto, opt)
-	res, err := s.ScheduleNetwork(net, alg)
+	res, err := s.ScheduleNetworkCtx(ctx, net, alg)
 	if err != nil {
 		return DesignPoint{}, err
 	}
@@ -102,13 +111,21 @@ func evaluateWithBaseline(net *workload.Network, spec arch.Spec, crypto cryptoen
 }
 
 // Evaluate schedules the network on one design with the given algorithm and
-// fills in area and performance.
+// fills in area and performance. It is EvaluateCtx with a background
+// context.
 func Evaluate(net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm) (DesignPoint, error) {
-	base, err := unsecureCycles(net, spec, crypto, Options{})
+	return EvaluateCtx(context.Background(), net, spec, crypto, alg)
+}
+
+// EvaluateCtx is the cancellable single-point evaluation; cancellation
+// propagates into both the unsecure baseline and the secure schedule, and
+// the error carries the stage the run reached.
+func EvaluateCtx(ctx context.Context, net *workload.Network, spec arch.Spec, crypto cryptoengine.Config, alg core.Algorithm) (DesignPoint, error) {
+	base, err := unsecureCycles(ctx, net, spec, crypto, Options{})
 	if err != nil {
 		return DesignPoint{}, err
 	}
-	return evaluateWithBaseline(net, spec, crypto, alg, base, Options{})
+	return evaluateWithBaseline(ctx, net, spec, crypto, alg, base, Options{})
 }
 
 // Sweep evaluates the cross product of architectures and crypto configs on
@@ -121,12 +138,29 @@ func Sweep(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Conf
 	return SweepOpts(net, specs, cryptos, alg, Options{})
 }
 
-// SweepOpts is Sweep with explicit tuning options.
+// SweepOpts is Sweep with explicit tuning options; it is SweepOptsCtx with
+// a background context.
 func SweepOpts(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm, opt Options) ([]DesignPoint, error) {
+	return SweepOptsCtx(context.Background(), net, specs, cryptos, alg, opt)
+}
+
+// SweepOptsCtx is the cancellable sweep: the worker pool stops launching
+// design points on cancellation, in-flight points stop at their own stage
+// boundaries, and the error is ctx.Err() wrapped with the sweep stage. A
+// pre-cancelled context evaluates no design point. Worker bodies are
+// guarded, so a panic evaluating one design fails the sweep, not the
+// process.
+func SweepOptsCtx(ctx context.Context, net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm, opt Options) (points []DesignPoint, err error) {
+	defer obs.CapturePanic(&err)
 	jobs := len(specs) * len(cryptos)
 	if jobs == 0 {
 		return nil, nil
 	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("dse: %s: %w", obs.StageSweep, cerr)
+	}
+	ob := obs.OrNop(opt.Observe)
+	ob.StageStart(obs.StageEvent{Stage: obs.StageSweep, Units: jobs})
 	out := make([]DesignPoint, jobs)
 	errs := make([]error, jobs)
 
@@ -143,37 +177,57 @@ func SweepOpts(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.
 	if workers > jobs {
 		workers = jobs
 	}
+	var done atomic.Int64
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
+launch:
 	for si := range specs {
 		for ci := range cryptos {
+			if ctx.Err() != nil {
+				break launch
+			}
 			idx := num.MulInt(si, len(cryptos)) + ci
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(si, ci, idx int) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				b := &bases[si]
-				b.once.Do(func() {
-					b.cycles, b.err = unsecureCycles(net, specs[si], cryptos[ci], opt)
+				errs[idx] = obs.Guard(func() error {
+					b := &bases[si]
+					b.once.Do(func() {
+						b.cycles, b.err = unsecureCycles(ctx, net, specs[si], cryptos[ci], opt)
+					})
+					if b.err != nil {
+						return b.err
+					}
+					var perr error
+					out[idx], perr = evaluateWithBaseline(ctx, net, specs[si], cryptos[ci], alg, b.cycles, opt)
+					if perr != nil {
+						return perr
+					}
+					ob.LayerScheduled(obs.LayerEvent{
+						Stage: obs.StageSweep,
+						Index: idx, Name: out[idx].Label(),
+						Done: int(done.Add(1)), Total: jobs,
+					})
+					return nil
 				})
-				if b.err != nil {
-					errs[idx] = b.err
-					return
-				}
-				out[idx], errs[idx] = evaluateWithBaseline(net, specs[si], cryptos[ci], alg, b.cycles, opt)
 			}(si, ci, idx)
 		}
 	}
 	wg.Wait()
-	for idx, err := range errs {
-		if err != nil {
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("dse: %s: %w", obs.StageSweep, cerr)
+	}
+	for idx, perr := range errs {
+		if perr != nil {
 			// Report the first failing point in sweep order, as the serial
 			// path did.
 			si, ci := idx/len(cryptos), idx%len(cryptos)
-			return nil, fmt.Errorf("dse: %s %s: %w", specs[si].Name, cryptos[ci], err)
+			return nil, fmt.Errorf("dse: %s %s: %w", specs[si].Name, cryptos[ci], perr)
 		}
 	}
+	ob.StageEnd(obs.StageEvent{Stage: obs.StageSweep, Units: jobs})
 	return out, nil
 }
 

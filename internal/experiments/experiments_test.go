@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -93,7 +94,10 @@ func TestFig12QuickShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("macro experiment")
 	}
-	tab := Fig12(Options{Quick: true})
+	tab, err := Fig12(context.Background(), Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	bounds := map[string]string{}
 	for _, r := range tab.Rows {
 		bounds[r[0]] = r[3]
@@ -115,8 +119,12 @@ func TestDSEFiguresQuick(t *testing.T) {
 		t.Skip("macro experiments")
 	}
 	opts := Options{Quick: true}
+	ctx := context.Background()
 
-	dram := DRAMStudy(opts)
+	dram, err := DRAMStudy(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(dram.Rows) != 3 {
 		t.Fatalf("dram rows %d", len(dram.Rows))
 	}
@@ -125,7 +133,10 @@ func TestDSEFiguresQuick(t *testing.T) {
 		t.Errorf("secure latency varies with DRAM tech: %v", dram.Rows)
 	}
 
-	fig16, points := Fig16(opts)
+	fig16, points, err := Fig16(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fig16.Rows) != 27 || len(points) != 27 {
 		t.Fatalf("fig16 has %d points", len(points))
 	}

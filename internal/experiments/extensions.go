@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/workload"
@@ -13,7 +16,7 @@ import (
 // on MobileNetV2 under Crypt-Opt-Cross for each tag width: larger tags cost
 // more hash traffic, and the optimal AuthBlock size shifts larger to
 // amortise them.
-func HashSizeStudy(opts Options) Table {
+func HashSizeStudy(ctx context.Context, opts Options) (Table, error) {
 	t := Table{
 		Name:   "hashsize",
 		Title:  "tag-width sensitivity (MobileNetV2, parallel AES-GCM, Crypt-Opt-Cross)",
@@ -21,17 +24,17 @@ func HashSizeStudy(opts Options) Table {
 	}
 	net := workload.MobileNetV2()
 	spec := arch.Base()
-	base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+	base, err := opts.newScheduler(spec, baseCrypto()).ScheduleNetworkCtx(ctx, net, core.Unsecure)
 	if err != nil {
-		panic(err)
+		return Table{}, fmt.Errorf("hashsize: %w", err)
 	}
 	for _, hashBits := range []int{32, 64, 128} {
-		s := core.New(spec, baseCrypto())
+		s := opts.newScheduler(spec, baseCrypto())
 		s.Anneal.Iterations = opts.annealIters(400)
 		s.Params.HashBits = hashBits
-		res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+		res, err := s.ScheduleNetworkCtx(ctx, net, core.CryptOptCross)
 		if err != nil {
-			panic(err)
+			return Table{}, fmt.Errorf("hashsize %d-bit: %w", hashBits, err)
 		}
 		t.AddRow(hashBits,
 			res.Total.Cycles,
@@ -40,5 +43,5 @@ func HashSizeStudy(opts Options) Table {
 			float64(res.Traffic.RedundantBits)/1e6,
 			float64(res.Traffic.Total())/1e6)
 	}
-	return t
+	return t, nil
 }

@@ -1,6 +1,9 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
+
 	"secureloop/internal/accelergy"
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
@@ -12,16 +15,17 @@ import (
 // sweepScheduler builds a scheduler tuned for design-space sweeps: the
 // Crypt-Opt-Cross algorithm with a reduced annealing budget (the
 // cross-layer gain is a few percent and stable, so sweeps spend their time
-// on the space, not the tail of each point).
+// on the space, not the tail of each point). Like newScheduler it carries
+// the experiment's observer.
 func sweepScheduler(spec arch.Spec, crypto cryptoengine.Config, opts Options) *core.Scheduler {
-	s := core.New(spec, crypto)
+	s := opts.newScheduler(spec, crypto)
 	s.Anneal.Iterations = opts.annealIters(200)
 	return s
 }
 
 // Fig13 reproduces Figure 13: slowdown over the unsecure baseline and
 // crypto area overhead for six engine configurations, per workload.
-func Fig13(opts Options) Table {
+func Fig13(ctx context.Context, opts Options) (Table, error) {
 	t := Table{
 		Name:   "fig13",
 		Title:  "slowdown and area overhead vs crypto engine configuration",
@@ -29,15 +33,15 @@ func Fig13(opts Options) Table {
 	}
 	spec := arch.Base()
 	for _, net := range workload.Networks() {
-		base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+		base, err := opts.newScheduler(spec, baseCrypto()).ScheduleNetworkCtx(ctx, net, core.Unsecure)
 		if err != nil {
-			panic(err)
+			return Table{}, fmt.Errorf("fig13 %s: %w", net.Name, err)
 		}
 		for _, cfg := range cryptoengine.Figure13Configs() {
 			s := sweepScheduler(spec, cfg, opts)
-			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+			res, err := s.ScheduleNetworkCtx(ctx, net, core.CryptOptCross)
 			if err != nil {
-				panic(err)
+				return Table{}, fmt.Errorf("fig13 %s %s: %w", net.Name, cfg, err)
 			}
 			dp := dse.DesignPoint{Spec: spec, Crypto: cfg,
 				Cycles: res.Total.Cycles, UnsecureCycles: base.Total.Cycles}
@@ -46,12 +50,12 @@ func Fig13(opts Options) Table {
 				cfg.TotalAreaKGates())
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Fig14 reproduces Figure 14: latency for PE arrays 14x12 / 14x24 / 28x24
 // under the unsecure baseline, a pipelined AES-GCM and a parallel AES-GCM.
-func Fig14(opts Options) Table {
+func Fig14(ctx context.Context, opts Options) (Table, error) {
 	t := Table{
 		Name:   "fig14",
 		Title:  "latency (cycles) vs PE array size",
@@ -61,27 +65,27 @@ func Fig14(opts Options) Table {
 		for _, pe := range arch.PEConfigs() {
 			spec := arch.Base().WithPEs(pe[0], pe[1])
 			row := []interface{}{net.Name, label2(pe[0], pe[1])}
-			base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+			base, err := opts.newScheduler(spec, baseCrypto()).ScheduleNetworkCtx(ctx, net, core.Unsecure)
 			if err != nil {
-				panic(err)
+				return Table{}, fmt.Errorf("fig14 %s %s: %w", net.Name, label2(pe[0], pe[1]), err)
 			}
 			row = append(row, base.Total.Cycles)
 			for _, engine := range []cryptoengine.EngineArch{cryptoengine.Pipelined(), cryptoengine.Parallel()} {
 				cfg := cryptoengine.Config{Engine: engine, CountPerDatatype: 1}
-				res, err := sweepScheduler(spec, cfg, opts).ScheduleNetwork(net, core.CryptOptCross)
+				res, err := sweepScheduler(spec, cfg, opts).ScheduleNetworkCtx(ctx, net, core.CryptOptCross)
 				if err != nil {
-					panic(err)
+					return Table{}, fmt.Errorf("fig14 %s %s: %w", net.Name, cfg, err)
 				}
 				row = append(row, res.Total.Cycles)
 			}
 			t.AddRow(row...)
 		}
 	}
-	return t
+	return t, nil
 }
 
 // Fig15 reproduces Figure 15: latency for global-buffer sizes 16/32/131 kB.
-func Fig15(opts Options) Table {
+func Fig15(ctx context.Context, opts Options) (Table, error) {
 	t := Table{
 		Name:   "fig15",
 		Title:  "latency (cycles) vs on-chip buffer size",
@@ -91,29 +95,29 @@ func Fig15(opts Options) Table {
 		for _, glb := range arch.BufferConfigs() {
 			spec := arch.Base().WithGlobalBuffer(glb)
 			row := []interface{}{net.Name, labelKB(glb)}
-			base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+			base, err := opts.newScheduler(spec, baseCrypto()).ScheduleNetworkCtx(ctx, net, core.Unsecure)
 			if err != nil {
-				panic(err)
+				return Table{}, fmt.Errorf("fig15 %s %s: %w", net.Name, labelKB(glb), err)
 			}
 			row = append(row, base.Total.Cycles)
 			for _, engine := range []cryptoengine.EngineArch{cryptoengine.Pipelined(), cryptoengine.Parallel()} {
 				cfg := cryptoengine.Config{Engine: engine, CountPerDatatype: 1}
-				res, err := sweepScheduler(spec, cfg, opts).ScheduleNetwork(net, core.CryptOptCross)
+				res, err := sweepScheduler(spec, cfg, opts).ScheduleNetworkCtx(ctx, net, core.CryptOptCross)
 				if err != nil {
-					panic(err)
+					return Table{}, fmt.Errorf("fig15 %s %s: %w", net.Name, cfg, err)
 				}
 				row = append(row, res.Total.Cycles)
 			}
 			t.AddRow(row...)
 		}
 	}
-	return t
+	return t, nil
 }
 
 // DRAMStudy reproduces the Section 5.2 "Different DRAM Technologies"
 // experiment on AlexNet: latency and energy under LPDDR4-64B, LPDDR4-128B
 // and HBM2-64B, secure (parallel engine) and unsecure.
-func DRAMStudy(opts Options) Table {
+func DRAMStudy(ctx context.Context, opts Options) (Table, error) {
 	t := Table{
 		Name:   "dram",
 		Title:  "DRAM technology study (AlexNet): latency and energy",
@@ -122,25 +126,25 @@ func DRAMStudy(opts Options) Table {
 	net := workload.AlexNet()
 	for _, tech := range arch.DRAMTechs() {
 		spec := arch.Base().WithDRAM(tech)
-		base, err := core.New(spec, baseCrypto()).ScheduleNetwork(net, core.Unsecure)
+		base, err := opts.newScheduler(spec, baseCrypto()).ScheduleNetworkCtx(ctx, net, core.Unsecure)
 		if err != nil {
-			panic(err)
+			return Table{}, fmt.Errorf("dram %s: %w", tech.Name, err)
 		}
-		res, err := sweepScheduler(spec, baseCrypto(), opts).ScheduleNetwork(net, core.CryptOptCross)
+		res, err := sweepScheduler(spec, baseCrypto(), opts).ScheduleNetworkCtx(ctx, net, core.CryptOptCross)
 		if err != nil {
-			panic(err)
+			return Table{}, fmt.Errorf("dram %s: %w", tech.Name, err)
 		}
 		t.AddRow(tech.Name,
 			base.Total.Cycles, base.Total.EnergyPJ/1e6,
 			res.Total.Cycles, res.Total.EnergyPJ/1e6)
 	}
-	return t
+	return t, nil
 }
 
 // Fig16 reproduces Figure 16: the area-vs-latency scatter over the
 // {PE array} x {GLB} x {crypto engine} space on AlexNet, with the Pareto
 // front marked.
-func Fig16(opts Options) (Table, []dse.DesignPoint) {
+func Fig16(ctx context.Context, opts Options) (Table, []dse.DesignPoint, error) {
 	t := Table{
 		Name:   "fig16",
 		Title:  "area vs performance trade-off (AlexNet) with Pareto front",
@@ -152,13 +156,13 @@ func Fig16(opts Options) (Table, []dse.DesignPoint) {
 	for _, spec := range specs {
 		for _, cfg := range cryptos {
 			s := sweepScheduler(spec, cfg, opts)
-			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+			res, err := s.ScheduleNetworkCtx(ctx, net, core.CryptOptCross)
 			if err != nil {
-				panic(err)
+				return Table{}, nil, fmt.Errorf("fig16 %s %s: %w", spec.Name, cfg, err)
 			}
-			base, err := core.New(spec, cfg).ScheduleNetwork(net, core.Unsecure)
+			base, err := opts.newScheduler(spec, cfg).ScheduleNetworkCtx(ctx, net, core.Unsecure)
 			if err != nil {
-				panic(err)
+				return Table{}, nil, fmt.Errorf("fig16 %s %s: %w", spec.Name, cfg, err)
 			}
 			points = append(points, dse.DesignPoint{
 				Spec: spec, Crypto: cfg,
@@ -173,7 +177,7 @@ func Fig16(opts Options) (Table, []dse.DesignPoint) {
 	for _, p := range points {
 		t.AddRow(p.Label(), p.AreaMM2, p.Cycles, p.Slowdown(), p.Pareto)
 	}
-	return t, points
+	return t, points, nil
 }
 
 func label2(x, y int) string { return itoa(x) + "x" + itoa(y) }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -17,10 +18,18 @@ func baseCrypto() cryptoengine.Config {
 	return cryptoengine.Config{Engine: cryptoengine.Parallel(), CountPerDatatype: 1}
 }
 
+// newScheduler builds a scheduler carrying the experiment's observer, so
+// every schedule an experiment runs reports progress through the same hook.
+func (o Options) newScheduler(spec arch.Spec, crypto cryptoengine.Config) *core.Scheduler {
+	s := core.New(spec, crypto)
+	s.Observe = o.Observe
+	return s
+}
+
 // Fig10 reproduces Figure 10: speedup (%) of cross-layer annealing over the
 // top-1-per-layer schedule for k = 1..10, at 1000 and 5000 iterations, on
 // MobileNetV2 with the base architecture and a parallel AES-GCM engine.
-func Fig10(opts Options) Table {
+func Fig10(ctx context.Context, opts Options) (Table, error) {
 	t := Table{
 		Name:   "fig10",
 		Title:  "annealing speedup vs k (MobileNetV2, parallel AES-GCM)",
@@ -29,14 +38,12 @@ func Fig10(opts Options) Table {
 	net := workload.MobileNetV2()
 	spec := arch.Base()
 
-	baseline := func() int64 {
-		s := core.New(spec, baseCrypto())
-		res, err := s.ScheduleNetwork(net, core.CryptOptSingle)
-		if err != nil {
-			panic(err)
-		}
-		return res.Total.Cycles
-	}()
+	s := opts.newScheduler(spec, baseCrypto())
+	baseRes, err := s.ScheduleNetworkCtx(ctx, net, core.CryptOptSingle)
+	if err != nil {
+		return Table{}, fmt.Errorf("fig10: %w", err)
+	}
+	baseline := baseRes.Total.Cycles
 
 	ks := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	if opts.Quick {
@@ -45,19 +52,19 @@ func Fig10(opts Options) Table {
 	for _, k := range ks {
 		row := []interface{}{k}
 		for _, iters := range []int{1000, 5000} {
-			s := core.New(spec, baseCrypto())
+			s := opts.newScheduler(spec, baseCrypto())
 			s.TopK = k
 			s.Anneal.Iterations = opts.annealIters(iters)
-			res, err := s.ScheduleNetwork(net, core.CryptOptCross)
+			res, err := s.ScheduleNetworkCtx(ctx, net, core.CryptOptCross)
 			if err != nil {
-				panic(err)
+				return Table{}, fmt.Errorf("fig10: %w", err)
 			}
 			speedup := 100 * (1 - float64(res.Total.Cycles)/float64(baseline))
 			row = append(row, speedup)
 		}
 		t.AddRow(row...)
 	}
-	return t
+	return t, nil
 }
 
 // Fig11Result holds one workload's Figure 11 numbers.
@@ -79,7 +86,7 @@ type Fig11Result struct {
 // Fig11 runs the scheduling-algorithm comparison of Figure 11 on the three
 // workloads. For MobileNetV2 the paper reports the mean of 5 annealing
 // seeds; opts.Quick reduces that to 1.
-func Fig11(opts Options) (latency, traffic Table, results []Fig11Result) {
+func Fig11(ctx context.Context, opts Options) (latency, traffic Table, results []Fig11Result, err error) {
 	latency = Table{
 		Name:   "fig11a",
 		Title:  "normalized latency vs unsecure baseline",
@@ -92,11 +99,11 @@ func Fig11(opts Options) (latency, traffic Table, results []Fig11Result) {
 	}
 	spec := arch.Base()
 	for _, net := range workload.Networks() {
-		s := core.New(spec, baseCrypto())
+		s := opts.newScheduler(spec, baseCrypto())
 		s.Anneal.Iterations = opts.annealIters(1000)
-		base, err := s.ScheduleNetwork(net, core.Unsecure)
+		base, err := s.ScheduleNetworkCtx(ctx, net, core.Unsecure)
 		if err != nil {
-			panic(err)
+			return Table{}, Table{}, nil, fmt.Errorf("fig11 %s: %w", net.Name, err)
 		}
 		r := Fig11Result{
 			Workload:    net.Name,
@@ -113,9 +120,9 @@ func Fig11(opts Options) (latency, traffic Table, results []Fig11Result) {
 			var tr core.Traffic
 			for seed := 0; seed < seeds; seed++ {
 				s.Anneal.Seed = int64(seed + 1)
-				res, err := s.ScheduleNetwork(net, alg)
+				res, err := s.ScheduleNetworkCtx(ctx, net, alg)
 				if err != nil {
-					panic(err)
+					return Table{}, Table{}, nil, fmt.Errorf("fig11 %s %s: %w", net.Name, alg, err)
 				}
 				cycles += float64(res.Total.Cycles)
 				edpSum += res.Total.EDP()
@@ -137,13 +144,13 @@ func Fig11(opts Options) (latency, traffic Table, results []Fig11Result) {
 			r.SpeedupPct, r.EDPImprovementPct)
 		results = append(results, r)
 	}
-	return latency, traffic, results
+	return latency, traffic, results, nil
 }
 
 // Fig12 reproduces Figure 12: roofline placements of the three workloads
 // under the unsecure baseline and the three secure scheduling algorithms,
 // plus the roofline's roofs (compute, memory, crypto).
-func Fig12(opts Options) Table {
+func Fig12(ctx context.Context, opts Options) (Table, error) {
 	t := Table{
 		Name:   "fig12",
 		Title:  "roofline: operational intensity vs performance (GFLOPS at 100 MHz)",
@@ -157,12 +164,12 @@ func Fig12(opts Options) Table {
 
 	algs := []core.Algorithm{core.Unsecure, core.CryptTileSingle, core.CryptOptSingle, core.CryptOptCross}
 	for _, net := range workload.Networks() {
-		s := core.New(spec, baseCrypto())
+		s := opts.newScheduler(spec, baseCrypto())
 		s.Anneal.Iterations = opts.annealIters(1000)
 		for _, alg := range algs {
-			res, err := s.ScheduleNetwork(net, alg)
+			res, err := s.ScheduleNetworkCtx(ctx, net, alg)
 			if err != nil {
-				panic(err)
+				return Table{}, fmt.Errorf("fig12 %s %s: %w", net.Name, alg, err)
 			}
 			p := roofline.PointFor(fmt.Sprintf("%s/%s", net.Name, alg), net.TotalMACs(), res.Total, spec.ClockHz)
 			bound := "compute"
@@ -174,5 +181,5 @@ func Fig12(opts Options) Table {
 			t.AddRow(p.Name, p.Intensity, p.OpsPerSec/1e9, bound)
 		}
 	}
-	return t
+	return t, nil
 }

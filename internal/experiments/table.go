@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"strings"
+
+	"secureloop/internal/obs"
 )
 
 // Table is one experiment's output: a header and rows of formatted cells.
@@ -87,6 +89,9 @@ type Options struct {
 	// Quick trades fidelity for speed: fewer annealing iterations, fewer
 	// seeds, subsampled sweeps. Paper-scale runs use Quick=false.
 	Quick bool
+	// Observe receives progress events from the schedulers each experiment
+	// runs (nil means none); cmd/experiments wires its -progress flag here.
+	Observe obs.Observer
 }
 
 func (o Options) annealIters(full int) int {

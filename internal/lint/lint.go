@@ -22,6 +22,7 @@
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -84,6 +85,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerMapDet,
 		AnalyzerLockGuard,
 		AnalyzerFloatEq,
+		AnalyzerCtxFirst,
 	}
 }
 
@@ -132,8 +134,16 @@ type Result struct {
 	Packages int
 }
 
-// Run loads the packages matching cfg and runs the selected analyzers.
+// Run loads the packages matching cfg and runs the selected analyzers. It is
+// RunCtx with a background context.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is the cancellable lint run: the context is polled between packages
+// (each package's load-and-analyze is the natural batch), so a Ctrl-C on a
+// module-wide run stops at the next package boundary and returns ctx.Err().
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	checks, err := ByName(cfg.Checks)
 	if err != nil {
 		return nil, err
@@ -156,6 +166,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	res := &Result{}
 	for _, d := range dirs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pkg, err := ld.loadRoot(d, cfg.IncludeTests)
 		if err != nil {
 			return nil, err

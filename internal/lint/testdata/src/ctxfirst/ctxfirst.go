@@ -1,0 +1,139 @@
+// Package ctxfirst is the golden fixture for the ctxfirst analyzer.
+package ctxfirst
+
+import "context"
+
+// Layer, Config and Candidate stand in for the search packages' work types;
+// DesignPoint stands in for the post-processing type the check exempts.
+type Layer struct{ Name string }
+type Config struct{ N int }
+type Candidate struct{ Score float64 }
+type DesignPoint struct{ Cycles int64 }
+
+// SpawnNoCtx fans out goroutines without a context and must be flagged.
+func SpawnNoCtx(n int) { // want "spawns goroutines"
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// RangeLayersNoCtx loops over per-layer work without a context and must be
+// flagged.
+func RangeLayersNoCtx(layers []Layer) int { // want "ranges over Layer work"
+	total := 0
+	for _, l := range layers {
+		total += len(l.Name)
+	}
+	return total
+}
+
+// RangePtrCandidates ranges over pointer elements; the pointer is
+// dereferenced before the name check, so it must be flagged too.
+func RangePtrCandidates(cs []*Candidate) float64 { // want "ranges over Candidate work"
+	var best float64
+	for _, c := range cs {
+		if c.Score > best {
+			best = c.Score
+		}
+	}
+	return best
+}
+
+// ConfigMap ranges over a map of Config values and must be flagged.
+func ConfigMap(m map[string]Config) int { // want "ranges over Config work"
+	n := 0
+	for _, c := range m {
+		n += c.N
+	}
+	return n
+}
+
+// CtxSecond does take a context, but not in first position, and must be
+// flagged.
+func CtxSecond(layers []Layer, ctx context.Context) { // want "not as its first parameter"
+	for range layers {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// Pool carries per-layer work; exported methods are held to the same
+// convention as functions.
+type Pool struct{ layers []Layer }
+
+// Drain consumes the pool's layers and must be flagged despite being a
+// method.
+func (p *Pool) Drain() int { // want "ranges over Layer work"
+	n := 0
+	for _, l := range p.layers {
+		n += len(l.Name)
+	}
+	return n
+}
+
+// CtxFirst is the convention: ctx comes first and cancellation reaches the
+// loop. Must not be flagged.
+func CtxFirst(ctx context.Context, layers []Layer) int {
+	n := 0
+	for _, l := range layers {
+		if ctx.Err() != nil {
+			break
+		}
+		n += len(l.Name)
+	}
+	return n
+}
+
+// Wrapper delegates to the Ctx variant with no loops or goroutines of its
+// own — the backward-compatible wrapper pattern. Must not be flagged.
+func Wrapper(layers []Layer) int {
+	return CtxFirst(context.Background(), layers)
+}
+
+// ParetoScan ranges over DesignPoint values; post-processing of finished
+// points is deliberately outside the convention. Must not be flagged.
+func ParetoScan(points []DesignPoint) int64 {
+	best := int64(1<<62 - 1)
+	for _, p := range points {
+		if p.Cycles < best {
+			best = p.Cycles
+		}
+	}
+	return best
+}
+
+// spawnHelper is unexported machinery and outside the convention.
+func spawnHelper() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}
+
+// scratch is an unexported receiver type; its exported method is internal
+// machinery and must not be flagged.
+type scratch struct{ layers []Layer }
+
+func (s *scratch) Sum() int {
+	n := 0
+	for _, l := range s.layers {
+		n += len(l.Name)
+	}
+	return n
+}
+
+// SeedTable builds a lookup table from Config values at init time, never on
+// the search path; the suppression documents the exception.
+//
+//securelint:ignore ctxfirst fixture: init-time table build, never on the search path
+func SeedTable(cfgs []Config) int {
+	n := 0
+	for _, c := range cfgs {
+		n += c.N
+	}
+	return n
+}

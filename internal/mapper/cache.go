@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -31,6 +32,10 @@ const numShards = 32
 type inflightSearch struct {
 	done chan struct{}
 	val  []Candidate
+	// err is the leader's failure (cancellation or a recovered panic); set
+	// before done is closed. Waiters seeing it retry — the failure may be
+	// specific to the leader's context.
+	err error
 }
 
 type cacheShard struct {
@@ -121,8 +126,18 @@ const cacheTopK = 10
 // SearchCached is Search with process-wide memoisation. Requests with
 // TopK <= cacheTopK share one cached search; larger requests bypass the
 // prefix optimisation and cache at their own k. Concurrent requests for the
-// same shape coalesce onto a single search.
+// same shape coalesce onto a single search. It is SearchCachedCtx with a
+// background context.
 func SearchCached(req Request) []Candidate {
+	out, _ := SearchCachedCtx(context.Background(), req)
+	return out
+}
+
+// SearchCachedCtx is the cancellable cached search. Failed or cancelled
+// searches are never stored, so a cancelled request cannot poison the cache
+// with a partial result; waiters coalesced onto a search whose leader fails
+// retry with their own context (one becomes the new leader).
+func SearchCachedCtx(ctx context.Context, req Request) ([]Candidate, error) {
 	storeK := cacheTopK
 	if req.TopK > storeK {
 		storeK = req.TopK
@@ -135,39 +150,56 @@ func SearchCached(req Request) []Candidate {
 	key.layer.Name = "" // shape-keyed: identical shapes share results
 	sh := key.shard()
 
-	sh.mu.Lock()
-	if got, ok := sh.entries[key]; ok {
+	for {
+		sh.mu.Lock()
+		if got, ok := sh.entries[key]; ok {
+			sh.mu.Unlock()
+			cacheHits.Add(1)
+			return clipTopK(got, req.TopK), nil
+		}
+		if call, ok := sh.inflight[key]; ok {
+			sh.mu.Unlock()
+			cacheShared.Add(1)
+			select {
+			case <-call.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			if call.err != nil {
+				// The leader failed with *its* context; ours may still be
+				// live, so go around and re-check (possibly leading now).
+				continue
+			}
+			return clipTopK(call.val, req.TopK), nil
+		}
+		call := &inflightSearch{done: make(chan struct{})}
+		if sh.inflight == nil {
+			sh.inflight = map[cacheKey]*inflightSearch{}
+		}
+		sh.inflight[key] = call
 		sh.mu.Unlock()
-		cacheHits.Add(1)
-		return clipTopK(got, req.TopK)
-	}
-	if call, ok := sh.inflight[key]; ok {
+
+		cacheMisses.Add(1)
+		full := req
+		full.TopK = storeK
+		val, err := SearchCtx(ctx, full)
+
+		sh.mu.Lock()
+		if err == nil {
+			if sh.entries == nil {
+				sh.entries = map[cacheKey][]Candidate{}
+			}
+			sh.entries[key] = val
+		}
+		delete(sh.inflight, key)
 		sh.mu.Unlock()
-		cacheShared.Add(1)
-		<-call.done
-		return clipTopK(call.val, req.TopK)
+		call.val, call.err = val, err
+		close(call.done)
+		if err != nil {
+			return nil, err
+		}
+		return clipTopK(val, req.TopK), nil
 	}
-	call := &inflightSearch{done: make(chan struct{})}
-	if sh.inflight == nil {
-		sh.inflight = map[cacheKey]*inflightSearch{}
-	}
-	sh.inflight[key] = call
-	sh.mu.Unlock()
-
-	cacheMisses.Add(1)
-	full := req
-	full.TopK = storeK
-	call.val = Search(full)
-
-	sh.mu.Lock()
-	if sh.entries == nil {
-		sh.entries = map[cacheKey][]Candidate{}
-	}
-	sh.entries[key] = call.val
-	delete(sh.inflight, key)
-	sh.mu.Unlock()
-	close(call.done)
-	return clipTopK(call.val, req.TopK)
 }
 
 func clipTopK(got []Candidate, k int) []Candidate {

@@ -18,6 +18,8 @@ package mapper
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"runtime"
 	"slices"
 	"sort"
@@ -26,6 +28,7 @@ import (
 	"secureloop/internal/mapping"
 	"secureloop/internal/model"
 	"secureloop/internal/num"
+	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
 
@@ -65,37 +68,65 @@ type Request struct {
 
 // Search returns the top-k schedules for the request, best first. The
 // result is never empty for a valid layer: a degenerate all-sequential
-// mapping always fits.
+// mapping always fits. It is SearchCtx with a background context.
 func Search(req Request) []Candidate {
-	return search(req, searchTilings)
+	out, _ := SearchCtx(context.Background(), req)
+	return out
+}
+
+// SearchCtx is Search honouring a context: the spatial-choice worker pool
+// stops launching on cancellation, in-flight tiling enumerations bail out at
+// tiling-batch boundaries, and the error is ctx.Err() wrapped with the layer
+// name. A panic anywhere in the search (an overflow guard tripping on a
+// malformed layer) is recovered here and surfaced as an error.
+func SearchCtx(ctx context.Context, req Request) (out []Candidate, err error) {
+	defer obs.CapturePanic(&err)
+	return search(ctx, req, searchTilings)
 }
 
 // search runs the spatial-choice fan-out with the given per-choice tiling
 // enumerator; Search and searchReference share it so the optimised and
 // reference paths resolve ranking ties identically.
-func search(req Request, tilings func(Request, spatialChoice, *topK)) []Candidate {
+func search(ctx context.Context, req Request, tilings func(context.Context, Request, spatialChoice, *topK)) ([]Candidate, error) {
 	if req.TopK < 1 {
 		req.TopK = 1
 	}
 	l := req.Layer
 
 	// Spatial choices are independent; search them in parallel and merge.
+	// Each worker body is guarded so a panicking cost model fails this one
+	// search rather than the process.
 	spatials := spatialChoices(l, req.PEsX, req.PEsY)
 	parts := make([]*topK, len(spatials))
+	errs := make([]error, len(spatials))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, sp := range spatials {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, sp spatialChoice) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			part := newTopK(req.TopK)
-			tilings(req, sp, part)
-			parts[i] = part
+			errs[i] = obs.Guard(func() error {
+				part := newTopK(req.TopK)
+				tilings(ctx, req, sp, part)
+				parts[i] = part
+				return nil
+			})
 		}(i, sp)
 	}
 	wg.Wait()
+	for _, werr := range errs {
+		if werr != nil {
+			return nil, fmt.Errorf("mapper: search layer %s: %w", l.Name, werr)
+		}
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, fmt.Errorf("mapper: search layer %s: %w", l.Name, cerr)
+	}
 	best := newTopK(req.TopK)
 	for _, part := range parts {
 		for _, c := range part.sorted() {
@@ -118,7 +149,7 @@ func search(req Request, tilings func(Request, spatialChoice, *topK)) []Candidat
 			OffchipBits: m.Offchip(l).TotalElems() * int64(l.WordBits),
 		}}
 	}
-	return out
+	return out, nil
 }
 
 // spatialChoice assigns one dimension to each PE-array axis.
@@ -238,7 +269,7 @@ func baseMapping(l *workload.Layer, sp spatialChoice) *mapping.Mapping {
 // enumeration: setGLBTile writes are per-dimension independent, so mutating
 // the factors in place visits exactly the tilings the reference path builds
 // by cloning.
-func searchTilings(req Request, sp spatialChoice, best *topK) {
+func searchTilings(ctx context.Context, req Request, sp spatialChoice, best *topK) {
 	l := req.Layer
 	m := baseMapping(l, sp)
 
@@ -267,9 +298,19 @@ func searchTilings(req Request, sp spatialChoice, best *topK) {
 	// happens at the smallest setting of all inner axes it ends the
 	// enclosing axis too.
 	for _, ct := range cs {
+		// Cancellation is polled at the two outer tiling-batch boundaries
+		// only; the inner axes stay branch-lean so the hot loop's cost is
+		// unchanged. An early return leaves a partial topK, which the caller
+		// discards when it sees ctx.Err().
+		if ctx.Err() != nil {
+			return
+		}
 		setGLBTile(m, l, mapping.DimC, ct)
 		cOverflow := true
 		for _, mt := range ms {
+			if ctx.Err() != nil {
+				return
+			}
 			setGLBTile(m, l, mapping.DimM, mt)
 			mOverflow := true
 			for _, pt := range ps {

@@ -1,6 +1,8 @@
 package mapper
 
 import (
+	"context"
+
 	"secureloop/internal/mapping"
 	"secureloop/internal/model"
 )
@@ -16,12 +18,15 @@ import (
 
 // searchReference is Search with the reference inner loop.
 func searchReference(req Request) []Candidate {
-	return search(req, searchTilingsReference)
+	out, _ := search(context.Background(), req, searchTilingsReference)
+	return out
 }
 
 // searchTilingsReference enumerates tilings by cloning the skeleton per
-// point and pruning by capacity with `continue`.
-func searchTilingsReference(req Request, sp spatialChoice, best *topK) {
+// point and pruning by capacity with `continue`. The context parameter only
+// satisfies the shared enumerator shape; the reference loop is retained
+// verbatim and never runs under a cancellable context.
+func searchTilingsReference(_ context.Context, req Request, sp spatialChoice, best *topK) {
 	l := req.Layer
 	skeleton := baseMapping(l, sp)
 

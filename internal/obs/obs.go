@@ -1,0 +1,183 @@
+// Package obs is the observability seam of the search pipeline: a small
+// Observer interface the scheduler, DSE sweep and annealer emit progress
+// events through, plus the panic-recovery helpers that keep invariant
+// panics (num.MulInt overflow guards and the like) from escaping a stage
+// boundary as anything but an error.
+//
+// Event payloads are deliberately wall-clock-free — counts and indices
+// only — so emitting them never perturbs determinism and observers can be
+// exercised in tests without time-dependent output.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sync"
+
+	"secureloop/internal/prof"
+)
+
+// Stage names one phase of the scheduling pipeline. The constants double as
+// the stage context wrapped around ctx.Err() on cancellation, so an
+// interrupted run reports exactly how far it got.
+type Stage string
+
+const (
+	// StageMapping is step 1: crypto-aware per-layer loopnest scheduling.
+	StageMapping Stage = "step 1 loopnest scheduling"
+	// StageAuthBlock is step 2: batched AuthBlock pair-matrix assignment.
+	StageAuthBlock Stage = "step 2 authblock assignment"
+	// StageAnneal is step 3: cross-layer fine tuning.
+	StageAnneal Stage = "step 3 cross-layer annealing"
+	// StageAssemble is the final per-layer result assembly.
+	StageAssemble Stage = "result assembly"
+	// StageSweep is a DSE design-space sweep over (spec, crypto) points.
+	StageSweep Stage = "design-space sweep"
+)
+
+// StageEvent marks a stage starting or ending. Units is the number of work
+// items the stage will process (layers, design points, segments).
+type StageEvent struct {
+	Stage Stage
+	Units int
+}
+
+// LayerEvent reports one completed work item within a stage: layer Index
+// (or design-point index for sweeps), its Name, and the Done/Total progress
+// counters. Done is a completion count, not an ordering guarantee — items
+// finish in pool order.
+type LayerEvent struct {
+	Stage Stage
+	Index int
+	Name  string
+	Done  int
+	Total int
+}
+
+// AnnealEvent reports annealing progress for one segment. Tag identifies
+// the segment (its first layer index); Iteration counts from 0 to
+// Iterations; Best is the lowest cost observed so far.
+type AnnealEvent struct {
+	Tag        int
+	Iteration  int
+	Iterations int
+	Accepted   int
+	Best       float64
+}
+
+// Observer receives progress events from the search pipeline. Methods may
+// be called concurrently from worker goroutines; implementations must be
+// safe for concurrent use. Implementations must not mutate shared search
+// state — the pipeline treats them as pure sinks.
+type Observer interface {
+	StageStart(e StageEvent)
+	StageEnd(e StageEvent)
+	LayerScheduled(e LayerEvent)
+	AnnealProgress(e AnnealEvent)
+}
+
+// Nop is the no-op Observer; the zero value is ready to use.
+type Nop struct{}
+
+func (Nop) StageStart(StageEvent)     {}
+func (Nop) StageEnd(StageEvent)       {}
+func (Nop) LayerScheduled(LayerEvent) {}
+func (Nop) AnnealProgress(AnnealEvent) {}
+
+// OrNop returns o, or the no-op observer when o is nil, so pipeline code
+// never branches on nil.
+func OrNop(o Observer) Observer {
+	if o == nil {
+		return Nop{}
+	}
+	return o
+}
+
+// PanicError converts a recovered panic value into an error carrying the
+// panic message and stack.
+func PanicError(r any) error {
+	return fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+}
+
+// CapturePanic is a deferred stage-boundary guard: it converts an in-flight
+// panic into an error stored at *errp (unless an error is already set).
+// Invariant panics deep in the cost model (num.MulInt overflow and the
+// AuthBlock coverage checks) fail the one request that tripped them instead
+// of the process.
+func CapturePanic(errp *error) {
+	if r := recover(); r != nil && *errp == nil {
+		*errp = PanicError(r)
+	}
+}
+
+// Guard runs fn, converting a panic into a returned error. Worker-pool
+// goroutine bodies are wrapped in Guard so a panicking worker surfaces as a
+// stage error rather than killing the process.
+func Guard(fn func() error) (err error) {
+	defer CapturePanic(&err)
+	return fn()
+}
+
+// Options bundles the run-scoped instrumentation hooks the cmd binaries
+// expose: a progress Observer and the internal/prof profile paths.
+type Options struct {
+	// Observer receives progress events; nil means none.
+	Observer Observer
+	// CPUProfile and MemProfile are prof.Start paths (empty to skip).
+	CPUProfile, MemProfile string
+}
+
+// Start begins the configured profiles and returns the stop function
+// (always non-nil). It delegates to prof.Start.
+func (o Options) Start() (stop func(), err error) {
+	return prof.Start(o.CPUProfile, o.MemProfile)
+}
+
+// Logger is an Observer that renders events as plain text lines, one per
+// event (annealing progress is thinned to quartile steps per segment). It
+// serialises concurrent emitters with a mutex, so output lines never
+// interleave. Suitable for the cmd binaries' -progress flag.
+type Logger struct {
+	mu      sync.Mutex
+	w       io.Writer
+	annealQ map[int]int // per-segment-tag last reported quartile
+}
+
+// NewLogger returns a Logger writing to w.
+func NewLogger(w io.Writer) *Logger {
+	return &Logger{w: w, annealQ: make(map[int]int)}
+}
+
+func (l *Logger) StageStart(e StageEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "[%s] start: %d unit(s)\n", e.Stage, e.Units)
+}
+
+func (l *Logger) StageEnd(e StageEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "[%s] done\n", e.Stage)
+}
+
+func (l *Logger) LayerScheduled(e LayerEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "[%s] %d/%d %s\n", e.Stage, e.Done, e.Total, e.Name)
+}
+
+func (l *Logger) AnnealProgress(e AnnealEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if e.Iterations <= 0 {
+		return
+	}
+	q := 4 * e.Iteration / e.Iterations
+	if last, seen := l.annealQ[e.Tag]; seen && q <= last {
+		return
+	}
+	l.annealQ[e.Tag] = q
+	fmt.Fprintf(l.w, "[%s] segment@%d %d/%d accepted=%d best=%g\n",
+		StageAnneal, e.Tag, e.Iteration, e.Iterations, e.Accepted, e.Best)
+}

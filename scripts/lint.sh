@@ -3,8 +3,9 @@
 # whole module and fails on any finding. The suite enforces the invariants
 # the perf work depends on — centralised ceiling division, int64-safe
 # dimension/tile products, no order-sensitive map iteration, the
-# `guarded by <mu>` lock annotations, and no exact float equality in
-# cost/energy code; see DESIGN.md ("Enforced invariants").
+# `guarded by <mu>` lock annotations, no exact float equality in
+# cost/energy code, and context-first signatures on exported search-path
+# functions; see DESIGN.md ("Enforced invariants").
 #
 # Usage: scripts/lint.sh [securelint flags] [packages]
 #   scripts/lint.sh                 # lint ./...
