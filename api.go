@@ -37,6 +37,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
@@ -69,6 +70,27 @@ type Objective = core.Objective
 const (
 	MinLatency = core.MinLatency
 	MinEDP     = core.MinEDP
+)
+
+// MapperOptions selects the per-layer loopnest search strategy (the
+// scheduler's Mapper field). The zero value is the exhaustive search; set
+// Mode to GuidedSearch for the lower-bound-guided mode, which returns
+// byte-identical results at the default Epsilon = 0 an order of magnitude
+// faster, seeding each search from the warm-start store of previous
+// searches over similar layer shapes:
+//
+//	s := secureloop.NewScheduler(spec, crypto)
+//	s.Mapper = secureloop.MapperOptions{Mode: secureloop.GuidedSearch}
+//
+// Epsilon > 0 relaxes the search further: each returned schedule's
+// scheduling cycles may exceed the exhaustive result's by at most a factor
+// of (1 + Epsilon).
+type MapperOptions = mapper.Options
+
+// The loopnest search modes.
+const (
+	ExhaustiveSearch = mapper.Exhaustive
+	GuidedSearch     = mapper.Guided
 )
 
 // ArchSpec describes a spatial DNN accelerator.

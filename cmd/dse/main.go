@@ -5,9 +5,12 @@
 //
 // Usage:
 //
-//	dse [-workload alexnet] [-iters 200] [-pareto-only] [-csv out.csv]
-//	    [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	dse [-workload alexnet] [-iters 200] [-guided] [-epsilon 0] [-pareto-only]
+//	    [-csv out.csv] [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
+// -guided switches every loopnest search to the lower-bound-guided mode
+// with cross-design-point warm starts (byte-identical results at the
+// default -epsilon 0, an order of magnitude faster per layer).
 // -progress streams one line per completed design point to stderr. Ctrl-C
 // cancels the sweep: no new design points launch, in-flight points stop at
 // their next stage boundary, and the error names the interrupted stage.
@@ -25,6 +28,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/dse"
+	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
 	"secureloop/internal/workload"
 )
@@ -33,6 +37,8 @@ func main() {
 	var (
 		workloadName = flag.String("workload", "alexnet", "workload: alexnet, resnet18, mobilenetv2, vgg16")
 		iters        = flag.Int("iters", 200, "annealing iterations per design point")
+		guided       = flag.Bool("guided", false, "use the guided loopnest search (byte-identical results at epsilon 0)")
+		epsilon      = flag.Float64("epsilon", 0, "guided-search relaxation: allowed per-rank cycle regression (e.g. 0.01)")
 		paretoOnly   = flag.Bool("pareto-only", false, "print only the Pareto front")
 		csvPath      = flag.String("csv", "", "write the sweep as CSV")
 		progress     = flag.Bool("progress", false, "stream per-design-point progress to stderr")
@@ -61,8 +67,11 @@ func main() {
 	specs, cryptos := dse.Figure16Space(arch.Base())
 
 	fmt.Fprintf(os.Stderr, "evaluating %d design points...\n", len(specs)*len(cryptos))
-	points, err := dse.SweepOptsCtx(ctx, net, specs, cryptos, core.CryptOptCross,
-		dse.Options{AnnealIterations: *iters, Observe: hooks.Observer})
+	sweepOpts := dse.Options{AnnealIterations: *iters, Observe: hooks.Observer}
+	if *guided {
+		sweepOpts.Mapper = mapper.Options{Mode: mapper.Guided, Epsilon: *epsilon}
+	}
+	points, err := dse.SweepOptsCtx(ctx, net, specs, cryptos, core.CryptOptCross, sweepOpts)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintf(os.Stderr, "dse: interrupted: %v\n", err)

@@ -3,14 +3,17 @@
 //
 // Usage:
 //
-//	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-out results] [-cachestats]
-//	            [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-guided] [-epsilon 0]
+//	            [-out results] [-cachestats] [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -quick trades fidelity for speed (fewer annealing iterations and seeds);
 // use it for smoke runs. The full run regenerates every experiment at
-// paper-scale settings. -progress streams per-stage scheduling progress to
-// stderr. -cachestats reports the memoisation-layer counters (mapper search
-// cache, AuthBlock memos) after the run.
+// paper-scale settings. -guided switches every loopnest search to the
+// lower-bound-guided mode (byte-identical results at the default -epsilon 0,
+// an order of magnitude faster). -progress streams per-stage scheduling
+// progress to stderr. -cachestats reports the memoisation-layer counters
+// (mapper search cache, tile-candidate cache, warm-start store,
+// guided-search work, AuthBlock memos) after the run.
 //
 // Ctrl-C cancels the run: in-flight schedules stop at their next stage
 // boundary and the error names the stage that was interrupted.
@@ -36,6 +39,8 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "experiment to run (all, 3, t2, 9, 10, 11, 12, 13, 14, 15, 16, dram, hashsize)")
 	quick := flag.Bool("quick", false, "reduced-fidelity fast run")
+	guided := flag.Bool("guided", false, "use the guided loopnest search (byte-identical results at epsilon 0)")
+	epsilon := flag.Float64("epsilon", 0, "guided-search relaxation: allowed per-rank cycle regression (e.g. 0.01)")
 	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
 	cachestats := flag.Bool("cachestats", false, "report cache hit/miss counters after the run")
 	progress := flag.Bool("progress", false, "stream scheduling progress to stderr")
@@ -57,6 +62,9 @@ func main() {
 	defer stopProf()
 
 	opts := experiments.Options{Quick: *quick, Observe: hooks.Observer}
+	if *guided {
+		opts.Mapper = mapper.Options{Mode: mapper.Guided, Epsilon: *epsilon}
+	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
 		want[strings.TrimSpace(f)] = true
@@ -140,6 +148,15 @@ func main() {
 		ms := mapper.CacheStats()
 		fmt.Printf("mapper search cache:  %d hits, %d misses, %d coalesced, %d entries\n",
 			ms.Hits, ms.Misses, ms.Shared, ms.Entries)
+		ts := mapper.TileCacheStats()
+		fmt.Printf("mapper tile cache:    %d hits, %d misses, %d evictions, %d entries\n",
+			ts.Hits, ts.Misses, ts.Evictions, ts.Entries)
+		ws := mapper.WarmStartStats()
+		fmt.Printf("mapper warm store:    %d hits, %d misses, %d stores, %d evictions, %d entries\n",
+			ws.Hits, ws.Misses, ws.Stores, ws.Evictions, ws.Entries)
+		gs := mapper.GuidedSearchStats()
+		fmt.Printf("guided search:        %d searches, %d evaluated, %d pruned, %d skipped, %d warm seeds\n",
+			gs.Searches, gs.Evaluated, gs.Pruned, gs.Skipped, gs.WarmSeeds)
 		opt, tile := authblock.CacheStats()
 		fmt.Printf("authblock optimal:    %d hits, %d misses, %d entries\n",
 			opt.Hits, opt.Misses, opt.Entries)

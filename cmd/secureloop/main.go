@@ -6,7 +6,7 @@
 //	secureloop -workload mobilenetv2 -engine parallel -count 1 \
 //	           -alg crypt-opt-cross [-pe 14x12] [-glb 131072] \
 //	           [-dram lpddr4-64] [-topk 6] [-iters 1000] [-seed 1] \
-//	           [-layers] [-csv out.csv] [-compare]
+//	           [-guided] [-epsilon 0] [-layers] [-csv out.csv] [-compare]
 //
 // -compare runs all of Table 1's algorithms plus the unsecure baseline and
 // prints the normalized-latency comparison of Figure 11a for the chosen
@@ -25,6 +25,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapper"
 	"secureloop/internal/report"
 	"secureloop/internal/workload"
 )
@@ -41,6 +42,8 @@ func main() {
 		topK         = flag.Int("topk", 6, "top-k schedules per layer for annealing")
 		iters        = flag.Int("iters", 1000, "annealing iterations")
 		seed         = flag.Int64("seed", 1, "annealing seed")
+		guided       = flag.Bool("guided", false, "use the guided loopnest search (byte-identical results at epsilon 0)")
+		epsilon      = flag.Float64("epsilon", 0, "guided-search relaxation: allowed per-rank cycle regression (e.g. 0.01)")
 		layers       = flag.Bool("layers", false, "print per-layer table")
 		csvPath      = flag.String("csv", "", "write per-layer CSV to this path")
 		compare      = flag.Bool("compare", false, "compare all scheduling algorithms")
@@ -74,6 +77,9 @@ func main() {
 	s.TopK = *topK
 	s.Anneal.Iterations = *iters
 	s.Anneal.Seed = *seed
+	if *guided {
+		s.Mapper = mapper.Options{Mode: mapper.Guided, Epsilon: *epsilon}
+	}
 	switch strings.ToLower(*objective) {
 	case "latency":
 		s.Objective = core.MinLatency

@@ -13,6 +13,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/authblock"
 	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapper"
 	"secureloop/internal/mapping"
 	"secureloop/internal/model"
 	"secureloop/internal/obs"
@@ -98,6 +99,10 @@ type Scheduler struct {
 	// step (<= 0 means one worker per available CPU). Set to 1 to force the
 	// serial path; results are identical either way.
 	MaxParallel int
+	// Mapper selects the per-layer loopnest search strategy (zero value:
+	// exhaustive). Guided mode at the default Epsilon = 0 returns results
+	// byte-identical to exhaustive at a fraction of the latency.
+	Mapper mapper.Options
 	// Observe receives progress events from every stage of the run (nil
 	// means none). Event emission is wall-clock-free and happens outside
 	// the random annealing trajectory, so an observed run returns results

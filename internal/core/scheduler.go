@@ -173,6 +173,8 @@ func (r *run) scheduleLayers(workers int, effBW float64, topK int) error {
 					GLBBits: s.Spec.GlobalBufferBits(), RFBits: s.Spec.RegFileBits(),
 					EffectiveBytesPerCycle: effBW,
 					TopK:                   topK,
+					Opt:                    s.Mapper,
+					Observe:                s.Observe,
 				})
 				if err != nil {
 					return err

@@ -17,6 +17,7 @@ import (
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapper"
 	"secureloop/internal/num"
 	"secureloop/internal/obs"
 	"secureloop/internal/workload"
@@ -66,6 +67,16 @@ type Options struct {
 	// dozens of concurrent runs interleaving their stage events would drown
 	// the sweep-level signal.
 	Observe obs.Observer
+	// Mapper selects the per-layer loopnest search strategy for every design
+	// point (zero value: exhaustive). Guided mode pays off most here: a sweep
+	// revisits near-identical layer shapes at neighbouring design points, so
+	// the warm-start store seeds almost every search after the first spec.
+	Mapper mapper.Options
+	// MaxParallel bounds the sweep's design-point worker pool (<= 0 means one
+	// worker per available CPU). Set to 1 for a deterministic serial visit
+	// order — results are identical either way, but warm-start hit counts
+	// become reproducible.
+	MaxParallel int
 }
 
 func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core.Scheduler {
@@ -73,6 +84,7 @@ func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core
 	if opt.AnnealIterations > 0 {
 		s.Anneal.Iterations = opt.AnnealIterations
 	}
+	s.Mapper = opt.Mapper
 	return s
 }
 
@@ -173,7 +185,10 @@ func SweepOptsCtx(ctx context.Context, net *workload.Network, specs []arch.Spec,
 	}
 	bases := make([]baseline, len(specs))
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := opt.MaxParallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > jobs {
 		workers = jobs
 	}

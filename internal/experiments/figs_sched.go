@@ -23,6 +23,7 @@ func baseCrypto() cryptoengine.Config {
 func (o Options) newScheduler(spec arch.Spec, crypto cryptoengine.Config) *core.Scheduler {
 	s := core.New(spec, crypto)
 	s.Observe = o.Observe
+	s.Mapper = o.Mapper
 	return s
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
 )
 
@@ -92,6 +93,10 @@ type Options struct {
 	// Observe receives progress events from the schedulers each experiment
 	// runs (nil means none); cmd/experiments wires its -progress flag here.
 	Observe obs.Observer
+	// Mapper selects the loopnest search strategy of every scheduler an
+	// experiment builds (zero value: exhaustive); cmd/experiments wires its
+	// -guided flag here.
+	Mapper mapper.Options
 }
 
 func (o Options) annealIters(full int) int {

@@ -39,6 +39,9 @@ var ctxfirstWorkTypes = map[string]bool{
 	"Spec":      true,
 	"Config":    true,
 	"Candidate": true,
+	// Seed covers the guided search's warm-start path: each seed applied is
+	// a full tiling evaluation, so a loop over seeds is search work.
+	"Seed": true,
 }
 
 // ctxfirstApplies scopes the check to the search packages; the fixture

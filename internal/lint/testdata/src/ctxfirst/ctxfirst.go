@@ -3,11 +3,13 @@ package ctxfirst
 
 import "context"
 
-// Layer, Config and Candidate stand in for the search packages' work types;
-// DesignPoint stands in for the post-processing type the check exempts.
+// Layer, Config, Candidate and Seed stand in for the search packages' work
+// types; DesignPoint stands in for the post-processing type the check
+// exempts.
 type Layer struct{ Name string }
 type Config struct{ N int }
 type Candidate struct{ Score float64 }
+type Seed struct{ Tiles [4]int32 }
 type DesignPoint struct{ Cycles int64 }
 
 // SpawnNoCtx fans out goroutines without a context and must be flagged.
@@ -48,6 +50,28 @@ func ConfigMap(m map[string]Config) int { // want "ranges over Config work"
 	n := 0
 	for _, c := range m {
 		n += c.N
+	}
+	return n
+}
+
+// ApplySeeds evaluates warm-start seeds — each application is a full tiling
+// evaluation on the search path — without a context, and must be flagged.
+func ApplySeeds(seeds []Seed) int { // want "ranges over Seed work"
+	n := 0
+	for _, sd := range seeds {
+		n += int(sd.Tiles[0])
+	}
+	return n
+}
+
+// ApplySeedsCtx is the convention for the same work. Must not be flagged.
+func ApplySeedsCtx(ctx context.Context, seeds []Seed) int {
+	n := 0
+	for _, sd := range seeds {
+		if ctx.Err() != nil {
+			break
+		}
+		n += int(sd.Tiles[0])
 	}
 	return n
 }

@@ -24,6 +24,10 @@ type cacheKey struct {
 	rf    int64
 	effBW float64
 	topK  int
+	// opt is part of the identity: guided results at Epsilon > 0 are
+	// admissible approximations, never interchangeable with exhaustive
+	// entries (and whether warm seeding ran can matter at Epsilon > 0 too).
+	opt Options
 }
 
 // numShards bounds lock contention; power of two so the hash mixes cheaply.
@@ -73,6 +77,11 @@ func (k cacheKey) shard() *cacheShard {
 	mix(uint64(k.glb))
 	mix(uint64(k.rf))
 	mix(math.Float64bits(k.effBW))
+	mix(uint64(k.opt.Mode))
+	mix(math.Float64bits(k.opt.Epsilon))
+	if k.opt.DisableWarmStart {
+		mix(1)
+	}
 	return &shards[h%numShards]
 }
 
@@ -146,6 +155,7 @@ func SearchCachedCtx(ctx context.Context, req Request) ([]Candidate, error) {
 		layer: *req.Layer, pesX: req.PEsX, pesY: req.PEsY,
 		glb: req.GLBBits, rf: req.RFBits,
 		effBW: req.EffectiveBytesPerCycle, topK: storeK,
+		opt: req.Opt,
 	}
 	key.layer.Name = "" // shape-keyed: identical shapes share results
 	sh := key.shard()

@@ -17,12 +17,17 @@ import (
 // evaluation per permutation, skip-only capacity checks): same length, and
 // per rank the same tiling signature, cycles, off-chip bits and rendered
 // loopnest.
-func TestSearchEquivalence(t *testing.T) {
+// equivalenceSpecs and equivalenceLayers build the spec × layer matrix the
+// search-equivalence tests (exhaustive-vs-reference here, guided-vs-oracle
+// in guided_test.go) share.
+func equivalenceSpecs() []*arch.Spec {
 	base := arch.Base()
 	small := base.WithPEs(8, 8).WithGlobalBuffer(16 * 1024)
 	big := base.WithPEs(28, 24).WithGlobalBuffer(256 * 1024)
-	specs := []*arch.Spec{&base, &small, &big}
+	return []*arch.Spec{&base, &small, &big}
+}
 
+func equivalenceLayers() []*workload.Layer {
 	var layers []*workload.Layer
 	an := workload.AlexNet()
 	for i := 0; i < an.NumLayers(); i++ {
@@ -45,8 +50,12 @@ func TestSearchEquivalence(t *testing.T) {
 		&workload.Layer{Name: "tiny", C: 1, M: 1, R: 1, S: 1, P: 2, Q: 2,
 			StrideH: 1, StrideW: 1, N: 1, WordBits: 8},
 	)
+	return layers
+}
 
-	for _, spec := range specs {
+func TestSearchEquivalence(t *testing.T) {
+	layers := equivalenceLayers()
+	for _, spec := range equivalenceSpecs() {
 		for _, l := range layers {
 			for _, bw := range []float64{float64(spec.DRAM.BytesPerCycle), 1.5} {
 				for _, k := range []int{1, 4, 6} {

@@ -64,6 +64,13 @@ type Request struct {
 	EffectiveBytesPerCycle float64
 	// TopK is how many distinct schedules to return (>=1).
 	TopK int
+	// Opt selects the search strategy; the zero value (exhaustive, ε=0)
+	// preserves the historical behaviour exactly.
+	Opt Options
+	// Observe receives per-search instrumentation events (guided-search
+	// evaluated/pruned/skipped accounting); nil means none. It is not part
+	// of the cached-search identity.
+	Observe obs.Observer
 }
 
 // Search returns the top-k schedules for the request, best first. The
@@ -79,8 +86,13 @@ func Search(req Request) []Candidate {
 // tiling-batch boundaries, and the error is ctx.Err() wrapped with the layer
 // name. A panic anywhere in the search (an overflow guard tripping on a
 // malformed layer) is recovered here and surfaced as an error.
+// req.Opt selects between the exhaustive path and the guided best-first
+// path (guided.go); both produce top-k sets under the identical ranking.
 func SearchCtx(ctx context.Context, req Request) (out []Candidate, err error) {
 	defer obs.CapturePanic(&err)
+	if req.Opt.Mode == Guided {
+		return searchGuided(ctx, req)
+	}
 	return search(ctx, req, searchTilings)
 }
 
@@ -136,20 +148,28 @@ func search(ctx context.Context, req Request, tilings func(context.Context, Requ
 
 	out := best.sorted()
 	if len(out) == 0 {
-		// Fallback: fully sequential single-element tiles (always valid).
-		m := baseMapping(l, spatialChoice{})
-		for _, d := range mapping.Dims {
-			m.SetFactor(mapping.GLB, d, 1)
-		}
-		m.SetFactor(mapping.GLB, mapping.DimR, mapping.Bound(l, mapping.DimR))
-		m.SetFactor(mapping.GLB, mapping.DimS, mapping.Bound(l, mapping.DimS))
-		out = []Candidate{{
-			Mapping:     m,
-			Cycles:      model.SchedulingCycles(l, m, req.EffectiveBytesPerCycle),
-			OffchipBits: m.Offchip(l).TotalElems() * int64(l.WordBits),
-		}}
+		out = fallbackCandidates(req)
 	}
 	return out, nil
+}
+
+// fallbackCandidates returns the degenerate all-sequential schedule
+// (single-element tiles, full filter extents at the GLB) — always valid, so
+// no search ever comes back empty. The exhaustive and guided paths share it
+// so they stay byte-identical on layers with no capacity-feasible tiling.
+func fallbackCandidates(req Request) []Candidate {
+	l := req.Layer
+	m := baseMapping(l, spatialChoice{})
+	for _, d := range mapping.Dims {
+		m.SetFactor(mapping.GLB, d, 1)
+	}
+	m.SetFactor(mapping.GLB, mapping.DimR, mapping.Bound(l, mapping.DimR))
+	m.SetFactor(mapping.GLB, mapping.DimS, mapping.Bound(l, mapping.DimS))
+	return []Candidate{{
+		Mapping:     m,
+		Cycles:      model.SchedulingCycles(l, m, req.EffectiveBytesPerCycle),
+		OffchipBits: m.Offchip(l).TotalElems() * int64(l.WordBits),
+	}}
 }
 
 // spatialChoice assigns one dimension to each PE-array axis.

@@ -1,0 +1,301 @@
+package mapper
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"secureloop/internal/mapping"
+)
+
+// The warm-start store remembers the winning tilings of completed guided
+// searches under a *canonical layer-shape key* — deliberately coarser than
+// the exact-result cache in cache.go. Output extents and bandwidth are
+// bucketed by power of two and the buffer capacities are excluded entirely,
+// so a DSE sweep stepping through neighbouring design points (larger GLB,
+// different crypto bandwidth) and repeated near-identical layers across
+// networks hit the store and seed the next search with the previous
+// winner's tiling. Hits are hints, never answers: seeds are snapped onto
+// the new request's lattice and re-checked for capacity, so a stale or
+// mismatched seed costs one evaluation and changes nothing else (at
+// Epsilon = 0 the result is provably independent of the store contents).
+
+// Seed is one warm-start hint: the spatial choice and the GLB tile extents
+// of a previous winner.
+type Seed struct {
+	// DimX/FX and DimY/FY give the spatial spreading in normalized form:
+	// dimension -1 with factor 1 when the axis is unspread.
+	DimX, DimY mapping.Dim
+	FX, FY     int
+	// Tiles are the GLB tile iteration counts for C, M, P, Q (tiledDims
+	// order).
+	Tiles [4]int32
+}
+
+// spatialKey returns the seed's normalized spatial identity.
+func (s Seed) spatialKey() [4]int {
+	return [4]int{int(s.DimX), s.FX, int(s.DimY), s.FY}
+}
+
+// normKey normalizes a spatialChoice the same way seedFromMapping does: an
+// axis with factor 1 carries no dimension (baseMapping ignores it), so all
+// such choices collapse onto one key.
+func (sp spatialChoice) normKey() [4]int {
+	k := [4]int{-1, 1, -1, 1}
+	if sp.fx > 1 {
+		k[0], k[1] = int(sp.dimX), sp.fx
+	}
+	if sp.fy > 1 {
+		k[2], k[3] = int(sp.dimY), sp.fy
+	}
+	return k
+}
+
+// seedFromMapping extracts the warm-start seed of one winning mapping.
+func seedFromMapping(m *mapping.Mapping) Seed {
+	sd := Seed{DimX: -1, FX: 1, DimY: -1, FY: 1}
+	for _, d := range mapping.Dims {
+		if f := m.Factor(mapping.SpatialX, d); f > 1 {
+			sd.DimX, sd.FX = d, f
+		}
+		if f := m.Factor(mapping.SpatialY, d); f > 1 {
+			sd.DimY, sd.FY = d, f
+		}
+	}
+	for i, d := range tiledDims {
+		sd.Tiles[i] = int32(m.TileDim(mapping.GLB, d))
+	}
+	return sd
+}
+
+// warmKey is the canonical layer-shape signature. Channel counts, filter
+// extents, strides and the PE array shape are exact (they change the search
+// space structurally); output extents P/Q and the effective bandwidth are
+// log2-bucketed (neighbouring values want the same tilings, up to
+// snapping); GLB/RF capacities are excluded (capacity only gates
+// feasibility, which the seed re-check handles).
+type warmKey struct {
+	c, m, r, s       int
+	p2, q2           int8
+	strideH, strideW int
+	depthwise        bool
+	wordBits         int
+	pesX, pesY       int
+	bw2              int16
+}
+
+func log2Bucket(v int) int8 {
+	b := int8(0)
+	for v > 1 {
+		v >>= 1
+		b++
+	}
+	return b
+}
+
+func warmKeyFor(req Request) warmKey {
+	l := req.Layer
+	bw2 := int16(0)
+	if req.EffectiveBytesPerCycle > 0 {
+		bw2 = int16(math.Floor(math.Log2(req.EffectiveBytesPerCycle)))
+	}
+	return warmKey{
+		c: l.C, m: l.M, r: l.R, s: l.S,
+		p2: log2Bucket(l.P), q2: log2Bucket(l.Q),
+		strideH: l.StrideH, strideW: l.StrideW,
+		depthwise: l.Depthwise, wordBits: l.WordBits,
+		pesX: req.PEsX, pesY: req.PEsY,
+		bw2: bw2,
+	}
+}
+
+const (
+	// warmShards bounds lock contention across parallel sweeps.
+	warmShards = 16
+	// warmShardCap bounds each shard's entry count; eviction is FIFO, which
+	// keeps the store deterministic under a serial sweep (no access-order
+	// state) and is close enough to LRU for sweeps that revisit shapes in
+	// passes.
+	warmShardCap = 64
+	// warmMaxSeeds caps the seeds stored per key. It matches cacheTopK so a
+	// full cached search's distinct winners all seed the next neighbour.
+	warmMaxSeeds = cacheTopK
+)
+
+type warmShard struct {
+	mu      sync.Mutex
+	entries map[warmKey][]Seed
+	order   []warmKey // FIFO eviction queue
+}
+
+var (
+	warmStore [warmShards]warmShard
+
+	warmHits   atomic.Int64
+	warmMisses atomic.Int64
+	warmStores atomic.Int64
+	warmEvicts atomic.Int64
+)
+
+func (k warmKey) shard() *warmShard {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for _, v := range [...]int{
+		k.c, k.m, k.r, k.s, int(k.p2), int(k.q2),
+		k.strideH, k.strideW, k.wordBits, k.pesX, k.pesY, int(k.bw2),
+	} {
+		mix(uint64(v))
+	}
+	if k.depthwise {
+		mix(1)
+	}
+	return &warmStore[h%warmShards]
+}
+
+// warmSeeds returns the stored seeds for the request's canonical shape, or
+// nil. The returned slice is immutable: warmPut replaces entries wholesale.
+func warmSeeds(req Request) []Seed {
+	key := warmKeyFor(req)
+	sh := key.shard()
+	sh.mu.Lock()
+	seeds := sh.entries[key]
+	sh.mu.Unlock()
+	if seeds == nil {
+		warmMisses.Add(1)
+		return nil
+	}
+	warmHits.Add(1)
+	return seeds
+}
+
+// warmPut records a completed search's winners under the canonical shape
+// key, evicting the oldest key when the shard is full.
+func warmPut(req Request, out []Candidate) {
+	n := len(out)
+	if n == 0 {
+		return
+	}
+	if n > warmMaxSeeds {
+		n = warmMaxSeeds
+	}
+	seeds := make([]Seed, n)
+	for i := 0; i < n; i++ {
+		seeds[i] = seedFromMapping(out[i].Mapping)
+	}
+	key := warmKeyFor(req)
+	sh := key.shard()
+	sh.mu.Lock()
+	if sh.entries == nil {
+		sh.entries = map[warmKey][]Seed{}
+	}
+	if _, ok := sh.entries[key]; !ok {
+		if len(sh.order) >= warmShardCap {
+			oldest := sh.order[0]
+			sh.order = sh.order[1:]
+			delete(sh.entries, oldest)
+			warmEvicts.Add(1)
+		}
+		sh.order = append(sh.order, key)
+	}
+	sh.entries[key] = seeds
+	sh.mu.Unlock()
+	warmStores.Add(1)
+}
+
+// WarmStats reports warm-start store effectiveness counters.
+type WarmStats struct {
+	// Hits counts guided searches seeded from the store.
+	Hits int64
+	// Misses counts guided searches that started cold.
+	Misses int64
+	// Stores counts completed searches recorded into the store.
+	Stores int64
+	// Evictions counts keys dropped by the FIFO bound.
+	Evictions int64
+	// Entries is the current number of stored shape keys.
+	Entries int64
+}
+
+// WarmStartStats snapshots the warm-start store counters.
+func WarmStartStats() WarmStats {
+	s := WarmStats{
+		Hits:      warmHits.Load(),
+		Misses:    warmMisses.Load(),
+		Stores:    warmStores.Load(),
+		Evictions: warmEvicts.Load(),
+	}
+	for i := range warmStore {
+		sh := &warmStore[i]
+		sh.mu.Lock()
+		s.Entries += int64(len(sh.entries))
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// ResetWarmStore drops all stored seeds and zeroes the counters (cold
+// benchmarks and warm-vs-cold tests).
+func ResetWarmStore() {
+	for i := range warmStore {
+		sh := &warmStore[i]
+		sh.mu.Lock()
+		sh.entries = nil
+		sh.order = nil
+		sh.mu.Unlock()
+	}
+	warmHits.Store(0)
+	warmMisses.Store(0)
+	warmStores.Store(0)
+	warmEvicts.Store(0)
+}
+
+// Process-wide guided-search work counters (GuidedSearchStats). The per
+// search numbers also flow through obs.MapperSearchEvent; these aggregates
+// serve tests and the experiments -cachestats report.
+var (
+	guidedSearches  atomic.Int64
+	guidedEvaluated atomic.Int64
+	guidedPruned    atomic.Int64
+	guidedSkipped   atomic.Int64
+	guidedWarmSeeds atomic.Int64
+)
+
+// GuidedStats aggregates guided-search work accounting across the process.
+type GuidedStats struct {
+	// Searches counts guided searches run.
+	Searches int64
+	// Evaluated counts tilings fully scored (permutation fold), warm seeds
+	// included.
+	Evaluated int64
+	// Pruned counts capacity-feasible tilings disposed of by the analytical
+	// lower bound without scoring.
+	Pruned int64
+	// Skipped counts tilings inside spatial choices skipped wholesale by
+	// the part-level bound.
+	Skipped int64
+	// WarmSeeds counts warm-start seeds applied.
+	WarmSeeds int64
+}
+
+// GuidedSearchStats snapshots the guided-search counters.
+func GuidedSearchStats() GuidedStats {
+	return GuidedStats{
+		Searches:  guidedSearches.Load(),
+		Evaluated: guidedEvaluated.Load(),
+		Pruned:    guidedPruned.Load(),
+		Skipped:   guidedSkipped.Load(),
+		WarmSeeds: guidedWarmSeeds.Load(),
+	}
+}
+
+// ResetGuidedStats zeroes the guided-search counters.
+func ResetGuidedStats() {
+	guidedSearches.Store(0)
+	guidedEvaluated.Store(0)
+	guidedPruned.Store(0)
+	guidedSkipped.Store(0)
+	guidedWarmSeeds.Store(0)
+}

@@ -66,6 +66,21 @@ type AnnealEvent struct {
 	Best       float64
 }
 
+// MapperSearchEvent accounts for one guided mapper search: how many tilings
+// were fully scored versus disposed of cheaply. Evaluated counts tilings
+// scored through the full permutation fold (warm-start seeds included);
+// Pruned counts capacity-feasible tilings whose analytical lower bound
+// exceeded the pruning threshold, so they were never scored; Skipped counts
+// tilings inside spatial choices discarded wholesale by their part-level
+// bound. WarmSeeds is how many warm-start seeds were applied.
+type MapperSearchEvent struct {
+	Layer     string
+	Evaluated int64
+	Pruned    int64
+	Skipped   int64
+	WarmSeeds int
+}
+
 // Observer receives progress events from the search pipeline. Methods may
 // be called concurrently from worker goroutines; implementations must be
 // safe for concurrent use. Implementations must not mutate shared search
@@ -75,15 +90,17 @@ type Observer interface {
 	StageEnd(e StageEvent)
 	LayerScheduled(e LayerEvent)
 	AnnealProgress(e AnnealEvent)
+	MapperSearch(e MapperSearchEvent)
 }
 
 // Nop is the no-op Observer; the zero value is ready to use.
 type Nop struct{}
 
-func (Nop) StageStart(StageEvent)     {}
-func (Nop) StageEnd(StageEvent)       {}
-func (Nop) LayerScheduled(LayerEvent) {}
-func (Nop) AnnealProgress(AnnealEvent) {}
+func (Nop) StageStart(StageEvent)       {}
+func (Nop) StageEnd(StageEvent)         {}
+func (Nop) LayerScheduled(LayerEvent)   {}
+func (Nop) AnnealProgress(AnnealEvent)  {}
+func (Nop) MapperSearch(MapperSearchEvent) {}
 
 // OrNop returns o, or the no-op observer when o is nil, so pipeline code
 // never branches on nil.
@@ -165,6 +182,13 @@ func (l *Logger) LayerScheduled(e LayerEvent) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	fmt.Fprintf(l.w, "[%s] %d/%d %s\n", e.Stage, e.Done, e.Total, e.Name)
+}
+
+func (l *Logger) MapperSearch(e MapperSearchEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "[%s] %s guided: evaluated=%d pruned=%d skipped=%d warm-seeds=%d\n",
+		StageMapping, e.Layer, e.Evaluated, e.Pruned, e.Skipped, e.WarmSeeds)
 }
 
 func (l *Logger) AnnealProgress(e AnnealEvent) {

@@ -1,42 +1,40 @@
 #!/usr/bin/env bash
-# Runs the batched-AuthBlock-assignment microbenchmarks (cold optimal
-# search, cold segment annealing pipeline, steady-state annealing move,
-# pair-matrix precompute, end-to-end Crypt-Opt-Cross schedule) and emits
-# BENCH_PR4.json with ns/op — and, where allocation behaviour is the
-# claim, B/op and allocs/op.
+# Runs the guided-mapper-search microbenchmarks (retained reference inner
+# loop, exhaustive search, lower-bound-guided search, warm-started guided
+# search) and emits BENCH_PR6.json with ns/op, B/op, allocs/op — and the
+# guided search's cost-ratio metric (best-candidate scheduling cycles,
+# guided over exhaustive, summed over all AlexNet layers; 1.000 means zero
+# cost regression).
 #
-# The "before" numbers are measured live in the same run wherever a
-# reference path is retained in-tree: BenchmarkAuthBlockOptimalReference
-# (the pre-batching orientation-outer search) and
-# BenchmarkAnnealSegment/reference (annealing with on-demand per-move
-# AuthBlock searches instead of precomputed pair matrices). The
-# end-to-end before is historical: the same AlexNet Crypt-Opt-Cross
-# benchmark body run at commit a5ae23a (pre-PR4 HEAD) on the same
-# machine (Intel Xeon @ 2.10GHz, -benchtime 3x).
+# All "before" numbers are measured live in the same run: the exhaustive
+# BenchmarkMapperSearch is the path -guided replaces on the hot path, and
+# BenchmarkMapperSearchReference is the original pre-optimisation inner
+# loop retained as the equivalence-test oracle.
 #
-# Earlier PR artifacts (BENCH_PR1.json, BENCH_PR2.json) are historical
-# records; this script now measures the PR4 surface. BenchmarkAnnealSegment
-# modes were renamed full/incremental -> reference/batched in PR4, so the
-# old BENCH_PR2 extraction no longer applies.
+# Every extracted metric is validated non-empty before the JSON is
+# assembled: if a benchmark is renamed or deleted, the script fails with a
+# non-zero exit naming the missing metric instead of emitting broken JSON
+# (earlier revisions interpolated empty strings silently).
+#
+# Earlier PR artifacts (BENCH_PR1/2/4.json) are historical records; this
+# script now measures the PR6 surface.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_PR4.json}"
+OUT="${1:-BENCH_PR6.json}"
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-echo "running BenchmarkAuthBlockOptimal + reference (20x, -benchmem)..." >&2
-go test ./internal/authblock -run '^$' -bench '^BenchmarkAuthBlockOptimal(Reference)?$' -benchtime 20x -benchmem | grep -E '^Benchmark' >>"$tmp"
-echo "running BenchmarkAnnealSegment reference/batched (3x)..." >&2
-go test ./internal/core -run '^$' -bench '^BenchmarkAnnealSegment$' -benchtime 3x -benchmem | grep -E '^Benchmark' >>"$tmp"
-echo "running BenchmarkAnnealMove (2s, -benchmem)..." >&2
-go test ./internal/core -run '^$' -bench '^BenchmarkAnnealMove$' -benchtime 2s -benchmem | grep -E '^Benchmark' >>"$tmp"
-echo "running BenchmarkPairMatrix (5x)..." >&2
-go test ./internal/core -run '^$' -bench '^BenchmarkPairMatrix$' -benchtime 5x | grep -E '^Benchmark' >>"$tmp"
-echo "running BenchmarkScheduleNetworkCross (3x)..." >&2
-go test ./internal/core -run '^$' -bench '^BenchmarkScheduleNetworkCross$' -benchtime 3x | grep -E '^Benchmark' >>"$tmp"
+echo "running BenchmarkMapperSearchReference (3x, -benchmem)..." >&2
+go test ./internal/mapper -run '^$' -bench '^BenchmarkMapperSearchReference$' -benchtime 3x -benchmem | grep -E '^Benchmark' >>"$tmp"
+echo "running BenchmarkMapperSearch (10x, -benchmem)..." >&2
+go test ./internal/mapper -run '^$' -bench '^BenchmarkMapperSearch$' -benchtime 10x -benchmem | grep -E '^Benchmark' >>"$tmp"
+echo "running BenchmarkMapperGuided (50x, -benchmem)..." >&2
+go test ./internal/mapper -run '^$' -bench '^BenchmarkMapperGuided$' -benchtime 50x -benchmem | grep -E '^Benchmark' >>"$tmp"
+echo "running BenchmarkMapperWarmStart (50x, -benchmem)..." >&2
+go test ./internal/mapper -run '^$' -bench '^BenchmarkMapperWarmStart$' -benchtime 50x -benchmem | grep -E '^Benchmark' >>"$tmp"
 
 # metric NAME UNIT -> value of the column preceding UNIT on NAME's row.
 metric() {
@@ -45,50 +43,64 @@ metric() {
 	}' "$tmp"
 }
 
-opt_ns="$(metric BenchmarkAuthBlockOptimal ns/op)"
-opt_allocs="$(metric BenchmarkAuthBlockOptimal allocs/op)"
-optref_ns="$(metric BenchmarkAuthBlockOptimalReference ns/op)"
-optref_allocs="$(metric BenchmarkAuthBlockOptimalReference allocs/op)"
-seg_ref_ns="$(metric BenchmarkAnnealSegment/reference ns/op)"
-seg_ref_evals="$(metric BenchmarkAnnealSegment/reference layer-evals/move)"
-seg_bat_ns="$(metric BenchmarkAnnealSegment/batched ns/op)"
-seg_bat_evals="$(metric BenchmarkAnnealSegment/batched layer-evals/move)"
-move_ns="$(metric BenchmarkAnnealMove ns/op)"
-move_bytes="$(metric BenchmarkAnnealMove B/op)"
-move_allocs="$(metric BenchmarkAnnealMove allocs/op)"
-pair_ns="$(metric BenchmarkPairMatrix ns/op)"
-cross_ns="$(metric BenchmarkScheduleNetworkCross ns/op)"
+# require NAME UNIT -> like metric, but fails the script when the metric is
+# absent (renamed/deleted benchmark, missing -benchmem column).
+require() {
+	local v
+	v="$(metric "$1" "$2")"
+	if [ -z "$v" ]; then
+		echo "bench.sh: benchmark metric not found: $1 $2 (renamed or deleted?)" >&2
+		echo "bench.sh: raw output was:" >&2
+		cat "$tmp" >&2
+		exit 1
+	fi
+	printf '%s' "$v"
+}
+
+ref_ns="$(require BenchmarkMapperSearchReference ns/op)"
+ref_bytes="$(require BenchmarkMapperSearchReference B/op)"
+ref_allocs="$(require BenchmarkMapperSearchReference allocs/op)"
+ex_ns="$(require BenchmarkMapperSearch ns/op)"
+ex_bytes="$(require BenchmarkMapperSearch B/op)"
+ex_allocs="$(require BenchmarkMapperSearch allocs/op)"
+gd_ns="$(require BenchmarkMapperGuided ns/op)"
+gd_bytes="$(require BenchmarkMapperGuided B/op)"
+gd_allocs="$(require BenchmarkMapperGuided allocs/op)"
+gd_cost="$(require BenchmarkMapperGuided cost-ratio)"
+warm_ns="$(require BenchmarkMapperWarmStart ns/op)"
+warm_bytes="$(require BenchmarkMapperWarmStart B/op)"
+warm_allocs="$(require BenchmarkMapperWarmStart allocs/op)"
+
+speedup="$(awk -v a="$ex_ns" -v b="$gd_ns" 'BEGIN { printf "%.2f", a / b }')"
 
 cat >"$OUT" <<EOF
 {
-  "pr": 4,
+  "pr": 6,
   "generated_by": "scripts/bench.sh",
-  "protocol": "go test -bench; -benchtime 20x -benchmem (authblock optimal), 3x -benchmem (anneal segment), 2s -benchmem (anneal move), 5x (pair matrix), 3x (schedule cross)",
-  "note": "before = the retained reference paths measured live in this run: BenchmarkAuthBlockOptimalReference is the pre-batching orientation-outer search (the TestOptimalMatchesReference oracle), BenchmarkAnnealSegment/reference anneals with on-demand AuthBlock searches instead of precomputed pair matrices. Both variants run from a cold AuthBlock cache each iteration. The end-to-end before_ns_per_op is the same benchmark body run at pre-PR4 HEAD (a5ae23a) on the same machine.",
+  "protocol": "go test -bench -benchmem; -benchtime 3x (reference), 10x (exhaustive), 50x (guided, warm start); all on the AlexNet-conv2 base-arch request at k=6",
+  "note": "before = the exhaustive BenchmarkMapperSearch measured live in this run (the per-layer hot path -guided replaces) and BenchmarkMapperSearchReference, the retained pre-optimisation inner loop that serves as the equivalence oracle. cost_ratio is best-candidate scheduling cycles, guided over exhaustive, summed over all AlexNet layers: 1.000 = zero cost regression (exact at the default Epsilon 0, asserted by TestGuidedSearchEquivalence). BenchmarkMapperWarmStart runs the same guided search seeded from a neighbouring design point's winners.",
   "benchmarks": {
-    "BenchmarkAuthBlockOptimal": {
-      "reference_ns_per_op": ${optref_ns},
-      "reference_allocs_per_op": ${optref_allocs},
-      "after_ns_per_op": ${opt_ns},
-      "after_allocs_per_op": ${opt_allocs}
+    "BenchmarkMapperSearchReference": {
+      "ns_per_op": ${ref_ns},
+      "bytes_per_op": ${ref_bytes},
+      "allocs_per_op": ${ref_allocs}
     },
-    "BenchmarkAnnealSegment": {
-      "reference_ns_per_op": ${seg_ref_ns},
-      "reference_layer_evals_per_move": ${seg_ref_evals},
-      "batched_ns_per_op": ${seg_bat_ns},
-      "batched_layer_evals_per_move": ${seg_bat_evals}
+    "BenchmarkMapperSearch": {
+      "ns_per_op": ${ex_ns},
+      "bytes_per_op": ${ex_bytes},
+      "allocs_per_op": ${ex_allocs}
     },
-    "BenchmarkAnnealMove": {
-      "after_ns_per_op": ${move_ns},
-      "after_bytes_per_op": ${move_bytes},
-      "after_allocs_per_op": ${move_allocs}
+    "BenchmarkMapperGuided": {
+      "ns_per_op": ${gd_ns},
+      "bytes_per_op": ${gd_bytes},
+      "allocs_per_op": ${gd_allocs},
+      "cost_ratio_vs_exhaustive": ${gd_cost},
+      "speedup_vs_exhaustive": ${speedup}
     },
-    "BenchmarkPairMatrix": {
-      "after_ns_per_op": ${pair_ns}
-    },
-    "BenchmarkScheduleNetworkCross": {
-      "before_ns_per_op": 1291156144,
-      "after_ns_per_op": ${cross_ns}
+    "BenchmarkMapperWarmStart": {
+      "ns_per_op": ${warm_ns},
+      "bytes_per_op": ${warm_bytes},
+      "allocs_per_op": ${warm_allocs}
     }
   }
 }
