@@ -39,6 +39,7 @@ import (
 	"secureloop/internal/cryptoengine"
 	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
+	"secureloop/internal/store"
 	"secureloop/internal/workload"
 )
 
@@ -114,6 +115,39 @@ type Observer = obs.Observer
 // NewProgressLogger returns an Observer that renders progress events as
 // human-readable lines on w (the cmd binaries' -progress output).
 func NewProgressLogger(w io.Writer) Observer { return obs.NewLogger(w) }
+
+// ResultStore is a persistent content-addressed result store. Assign one to
+// a scheduler's Store field and identical scheduling requests — whole-network
+// schedules, per-layer loopnest searches, AuthBlock assignments — resolve
+// from disk across processes and restarts, byte-identical to the searches
+// they replace:
+//
+//	st, err := secureloop.OpenResultStore(".secureloop-store", secureloop.StoreOptions{})
+//	if err != nil { ... }
+//	defer st.Close()
+//	s := secureloop.NewScheduler(spec, crypto)
+//	s.Store = st
+//
+// The store is safe for concurrent use by any number of schedulers; a
+// corrupt or torn record (for example after a crash) is dropped and
+// recomputed, never fatal.
+type ResultStore = store.Store
+
+// StoreOptions tunes a result store: MaxBytes bounds the on-disk footprint
+// (oldest segments are evicted beyond it), SegmentBytes sets the log
+// rotation threshold. Zero values select the defaults.
+type StoreOptions = store.Options
+
+// StoreStats is a snapshot of a store's counters (hits, misses, puts,
+// corruption drops, evictions) and footprint.
+type StoreStats = store.Stats
+
+// OpenResultStore opens (creating if needed) the persistent result store in
+// dir. Call Close to flush the write-behind queue and release the segment
+// files.
+func OpenResultStore(dir string, opt StoreOptions) (*ResultStore, error) {
+	return store.Open(dir, opt)
+}
 
 // Network is a DNN workload with its segment structure.
 type Network = workload.Network

@@ -30,6 +30,7 @@ import (
 	"secureloop/internal/dse"
 	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
+	"secureloop/internal/store"
 	"secureloop/internal/workload"
 )
 
@@ -44,6 +45,7 @@ func main() {
 		progress     = flag.Bool("progress", false, "stream per-design-point progress to stderr")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		storeDir     = flag.String("store", "", "persistent result-store directory: a warm rerun of the sweep replays byte-identical design points from disk")
 	)
 	flag.Parse()
 
@@ -70,6 +72,18 @@ func main() {
 	sweepOpts := dse.Options{AnnealIterations: *iters, Observe: hooks.Observer}
 	if *guided {
 		sweepOpts.Mapper = mapper.Options{Mode: mapper.Guided, Epsilon: *epsilon}
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "dse: store close:", err)
+			}
+		}()
+		sweepOpts.Store = st
 	}
 	points, err := dse.SweepOptsCtx(ctx, net, specs, cryptos, core.CryptOptCross, sweepOpts)
 	if err != nil {

@@ -4,16 +4,19 @@
 // Usage:
 //
 //	experiments [-fig all|3|t2|9|10|11|12|13|14|15|16|dram] [-quick] [-guided] [-epsilon 0]
-//	            [-out results] [-cachestats] [-progress] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	            [-out results] [-store dir] [-cachestats] [-progress]
+//	            [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // -quick trades fidelity for speed (fewer annealing iterations and seeds);
 // use it for smoke runs. The full run regenerates every experiment at
 // paper-scale settings. -guided switches every loopnest search to the
 // lower-bound-guided mode (byte-identical results at the default -epsilon 0,
-// an order of magnitude faster). -progress streams per-stage scheduling
-// progress to stderr. -cachestats reports the memoisation-layer counters
-// (mapper search cache, tile-candidate cache, warm-start store,
-// guided-search work, AuthBlock memos) after the run.
+// an order of magnitude faster). -store names a persistent result-store
+// directory: a warm rerun replays byte-identical schedules from disk instead
+// of recomputing them. -progress streams per-stage scheduling progress to
+// stderr. -cachestats reports every memoisation tier's hit ratio and
+// counters (mapper search cache, tile-candidate cache, warm-start store,
+// guided-search work, AuthBlock memos, persistent store) after the run.
 //
 // Ctrl-C cancels the run: in-flight schedules stop at their next stage
 // boundary and the error names the stage that was interrupted.
@@ -34,6 +37,7 @@ import (
 	"secureloop/internal/experiments"
 	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
+	"secureloop/internal/store"
 )
 
 func main() {
@@ -42,7 +46,8 @@ func main() {
 	guided := flag.Bool("guided", false, "use the guided loopnest search (byte-identical results at epsilon 0)")
 	epsilon := flag.Float64("epsilon", 0, "guided-search relaxation: allowed per-rank cycle regression (e.g. 0.01)")
 	out := flag.String("out", "results", "directory for CSV output (empty to skip)")
-	cachestats := flag.Bool("cachestats", false, "report cache hit/miss counters after the run")
+	storeDir := flag.String("store", "", "persistent result-store directory: warm reruns replay byte-identical schedules from disk")
+	cachestats := flag.Bool("cachestats", false, "report per-tier cache hit ratios and counters after the run")
 	progress := flag.Bool("progress", false, "stream scheduling progress to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -64,6 +69,20 @@ func main() {
 	opts := experiments.Options{Quick: *quick, Observe: hooks.Observer}
 	if *guided {
 		opts.Mapper = mapper.Options{Mode: mapper.Guided, Epsilon: *epsilon}
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: store close:", err)
+			}
+		}()
+		opts.Store = st
 	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {
@@ -145,23 +164,49 @@ func main() {
 	})
 
 	if *cachestats {
-		ms := mapper.CacheStats()
-		fmt.Printf("mapper search cache:  %d hits, %d misses, %d coalesced, %d entries\n",
-			ms.Hits, ms.Misses, ms.Shared, ms.Entries)
-		ts := mapper.TileCacheStats()
-		fmt.Printf("mapper tile cache:    %d hits, %d misses, %d evictions, %d entries\n",
-			ts.Hits, ts.Misses, ts.Evictions, ts.Entries)
-		ws := mapper.WarmStartStats()
-		fmt.Printf("mapper warm store:    %d hits, %d misses, %d stores, %d evictions, %d entries\n",
-			ws.Hits, ws.Misses, ws.Stores, ws.Evictions, ws.Entries)
-		gs := mapper.GuidedSearchStats()
-		fmt.Printf("guided search:        %d searches, %d evaluated, %d pruned, %d skipped, %d warm seeds\n",
-			gs.Searches, gs.Evaluated, gs.Pruned, gs.Skipped, gs.WarmSeeds)
-		opt, tile := authblock.CacheStats()
-		fmt.Printf("authblock optimal:    %d hits, %d misses, %d entries\n",
-			opt.Hits, opt.Misses, opt.Entries)
-		fmt.Printf("authblock tile-block: %d hits, %d misses, %d entries\n",
-			tile.Hits, tile.Misses, tile.Entries)
+		printCacheStats(st)
+	}
+}
+
+// ratio renders hits over lookups as a percentage, "-" before any lookup.
+func ratio(hits, misses int64) string {
+	total := hits + misses
+	if total == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(total))
+}
+
+// printCacheStats reports every memoisation tier with its hit ratio: the
+// in-memory mapper and AuthBlock caches, the guided-search warm store, and
+// (when -store is set) the persistent cross-process tier.
+func printCacheStats(st *store.Store) {
+	ms := mapper.CacheStats()
+	fmt.Printf("mapper search cache:  %s hit ratio (%d hits, %d misses), %d coalesced, %d entries\n",
+		ratio(ms.Hits, ms.Misses), ms.Hits, ms.Misses, ms.Shared, ms.Entries)
+	ts := mapper.TileCacheStats()
+	fmt.Printf("mapper tile cache:    %s hit ratio (%d hits, %d misses), %d evictions, %d entries\n",
+		ratio(ts.Hits, ts.Misses), ts.Hits, ts.Misses, ts.Evictions, ts.Entries)
+	ws := mapper.WarmStartStats()
+	fmt.Printf("mapper warm store:    %s hit ratio (%d hits, %d misses), %d stores, %d evictions, %d entries\n",
+		ratio(ws.Hits, ws.Misses), ws.Hits, ws.Misses, ws.Stores, ws.Evictions, ws.Entries)
+	gs := mapper.GuidedSearchStats()
+	fmt.Printf("guided search:        %d searches, %d evaluated, %d pruned, %d skipped, %d warm seeds\n",
+		gs.Searches, gs.Evaluated, gs.Pruned, gs.Skipped, gs.WarmSeeds)
+	opt, tile := authblock.CacheStats()
+	fmt.Printf("authblock optimal:    %s hit ratio (%d hits, %d misses), %d runs, %d entries\n",
+		ratio(opt.Hits, opt.Misses), opt.Hits, opt.Misses, opt.Runs, opt.Entries)
+	fmt.Printf("authblock tile-block: %s hit ratio (%d hits, %d misses), %d entries\n",
+		ratio(tile.Hits, tile.Misses), tile.Hits, tile.Misses, tile.Entries)
+	dc, sc := authblock.DecompCacheStats()
+	fmt.Printf("authblock decomp:     %s hit ratio (%d hits, %d misses), %d evictions, %d entries\n",
+		ratio(dc.Hits, dc.Misses), dc.Hits, dc.Misses, dc.Evictions, dc.Entries)
+	fmt.Printf("authblock sizes:      %s hit ratio (%d hits, %d misses), %d evictions, %d entries\n",
+		ratio(sc.Hits, sc.Misses), sc.Hits, sc.Misses, sc.Evictions, sc.Entries)
+	if st != nil {
+		ss := st.Stats()
+		fmt.Printf("persistent store:     %s hit ratio (%d hits, %d misses), %d puts, %d corrupt, %d evicted segments, %d entries, %d bytes\n",
+			ratio(ss.Hits, ss.Misses), ss.Hits, ss.Misses, ss.Puts, ss.Corrupt, ss.EvictedSegments, ss.Entries, ss.Bytes)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"secureloop/internal/cryptoengine"
 	"secureloop/internal/mapper"
 	"secureloop/internal/report"
+	"secureloop/internal/store"
 	"secureloop/internal/workload"
 )
 
@@ -48,6 +49,7 @@ func main() {
 		csvPath      = flag.String("csv", "", "write per-layer CSV to this path")
 		compare      = flag.Bool("compare", false, "compare all scheduling algorithms")
 		objective    = flag.String("objective", "latency", "fine-tuning objective: latency or edp")
+		storeDir     = flag.String("store", "", "persistent result-store directory: identical runs replay byte-identical schedules from disk")
 	)
 	flag.Parse()
 
@@ -87,6 +89,18 @@ func main() {
 		s.Objective = core.MinEDP
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "secureloop: store close:", err)
+			}
+		}()
+		s.Store = st
 	}
 
 	if *compare {

@@ -73,13 +73,29 @@ type Stats struct {
 	Hits    int64
 	Misses  int64
 	Entries int64
+	// Runs counts searches that actually executed (misses neither the
+	// in-memory nor the persistent tier could answer). For the tile memo it
+	// equals Misses, which has no persistent tier.
+	Runs int64
+	// Evictions counts entries dropped by a size bound (only the bounded
+	// decomposition and candidate-size memos evict).
+	Evictions int64
+}
+
+// HitRatio returns hits over lookups in [0, 1], or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // CacheStats snapshots the counters of the optimal-assignment memo and the
 // tile-as-an-AuthBlock memo.
 func CacheStats() (optimal, tile Stats) {
-	optimal = Stats{Hits: optHits.Load(), Misses: optMisses.Load()}
-	tile = Stats{Hits: tileHits.Load(), Misses: tileMisses.Load()}
+	optimal = Stats{Hits: optHits.Load(), Misses: optMisses.Load(), Runs: optRuns.Load()}
+	tile = Stats{Hits: tileHits.Load(), Misses: tileMisses.Load(), Runs: tileMisses.Load()}
 	for i := range optShards {
 		s := &optShards[i]
 		s.mu.Lock()
@@ -112,6 +128,7 @@ func ResetCaches() {
 	}
 	optHits.Store(0)
 	optMisses.Store(0)
+	optRuns.Store(0)
 	tileHits.Store(0)
 	tileMisses.Store(0)
 	clearDecompCaches()
@@ -125,29 +142,10 @@ func OptimalCached(p ProducerGrid, c ConsumerGrid, par Params) Result {
 
 // OptimalCachedCtx is the cancellable memoised search. A search interrupted
 // by cancellation is never stored, so a cancelled request cannot seed the
-// memo with a partial (non-optimal) assignment.
+// memo with a partial (non-optimal) assignment. It is OptimalStoredCtx
+// without a persistent tier.
 func OptimalCachedCtx(ctx context.Context, p ProducerGrid, c ConsumerGrid, par Params) (Result, error) {
-	key := cacheKey{p: p, c: c, par: par}
-	s := &optShards[key.shard()]
-	s.mu.Lock()
-	if r, ok := s.entries[key]; ok {
-		s.mu.Unlock()
-		optHits.Add(1)
-		return r, nil
-	}
-	s.mu.Unlock()
-	optMisses.Add(1)
-	r, err := OptimalCtx(ctx, p, c, par)
-	if err != nil {
-		return r, err
-	}
-	s.mu.Lock()
-	if s.entries == nil {
-		s.entries = map[cacheKey]Result{}
-	}
-	s.entries[key] = r
-	s.mu.Unlock()
-	return r, nil
+	return OptimalStoredCtx(ctx, nil, p, c, par)
 }
 
 // TileAsAuthBlockCached is TileAsAuthBlock with process-wide memoisation.

@@ -2,7 +2,6 @@ package authblock
 
 import (
 	"sort"
-	"sync"
 
 	"secureloop/internal/num"
 )
@@ -145,19 +144,27 @@ type decompKey struct {
 
 // decompCache memoises decompositions process-wide: the same grid pairs
 // recur across candidate sizes, annealing moves and design-space sweeps.
-var decompCache sync.Map // decompKey -> *pairDecomposition
+// Bounded and FIFO-sharded (see fifocache.go) so a long sweep over generated
+// networks cannot grow it without limit.
+var decompCache = &fifoCache[decompKey, *pairDecomposition]{hash: hashDecompKey}
+
+func hashDecompKey(k decompKey) uint64 {
+	return fnvMix(
+		int64(k.p.C), int64(k.p.H), int64(k.p.W),
+		int64(k.p.TileC), int64(k.p.TileH), int64(k.p.TileW), k.p.WritesPerTile,
+		int64(k.c.TileC), int64(k.c.WinH), int64(k.c.WinW),
+		int64(k.c.StepH), int64(k.c.StepW), int64(k.c.OffH), int64(k.c.OffW),
+		int64(k.c.CountC), int64(k.c.CountH), int64(k.c.CountW), k.c.FetchesPerTile,
+	)
+}
 
 // decompositionFor returns the memoised decomposition of the pair.
 func decompositionFor(p ProducerGrid, c ConsumerGrid) *pairDecomposition {
 	key := decompKey{p: p, c: c}
-	if v, ok := decompCache.Load(key); ok {
-		return v.(*pairDecomposition)
+	if v, ok := decompCache.get(key); ok {
+		return v
 	}
-	d := newPairDecomposition(p, c)
-	if v, loaded := decompCache.LoadOrStore(key, d); loaded {
-		return v.(*pairDecomposition)
-	}
-	return d
+	return decompCache.put(key, newPairDecomposition(p, c))
 }
 
 // sizeKey captures the only fields CandidateSizes reads.
@@ -168,18 +175,25 @@ type sizeKey struct {
 }
 
 // sizeCache memoises the deduplicated candidate-size lists; callers must
-// treat the returned slice as read-only.
-var sizeCache sync.Map // sizeKey -> []int
+// treat the returned slice as read-only. Bounded like decompCache.
+var sizeCache = &fifoCache[sizeKey, []int]{hash: hashSizeKey}
+
+func hashSizeKey(k sizeKey) uint64 {
+	return fnvMix(
+		int64(k.tileC), int64(k.tileH), int64(k.tileW),
+		int64(k.winH), int64(k.winW), int64(k.stepH), int64(k.stepW),
+	)
+}
+
+// DecompCacheStats snapshots the decomposition and candidate-size memo
+// counters (cmd/experiments -cachestats).
+func DecompCacheStats() (decomp, size Stats) {
+	return decompCache.stats(), sizeCache.stats()
+}
 
 // clearDecompCaches drops the decomposition and candidate-size memos
 // (ResetCaches calls this alongside the result memos).
 func clearDecompCaches() {
-	decompCache.Range(func(k, _ any) bool {
-		decompCache.Delete(k)
-		return true
-	})
-	sizeCache.Range(func(k, _ any) bool {
-		sizeCache.Delete(k)
-		return true
-	})
+	decompCache.reset()
+	sizeCache.reset()
 }

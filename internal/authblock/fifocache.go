@@ -1,0 +1,119 @@
+package authblock
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// fifoCache is a bounded, sharded, FIFO-evicting memo, mirroring the
+// tile-candidate cache in the mapper package: reads take a shard RLock,
+// the first writer wins so every caller sees one canonical value, and each
+// shard's entry count is capped with deterministic FIFO eviction. The
+// decomposition and candidate-size memos below used to be unbounded
+// sync.Maps keyed by arbitrary grid geometry — exactly the footprint leak a
+// long sweep over generated networks hits — so they now share this design.
+
+const (
+	// fifoShards bounds read contention; power of two for cheap masking.
+	fifoShards = 8
+	// fifoShardCap bounds each shard's entry count. Real runs touch at most
+	// a few hundred distinct grid pairs, so the cap (8*128 entries total) is
+	// above steady-state yet fixes a pathological sweep's footprint.
+	fifoShardCap = 128
+)
+
+type fifoShard[K comparable, V any] struct {
+	mu      sync.RWMutex
+	entries map[K]V // guarded by mu
+	order   []K     // guarded by mu (FIFO eviction queue)
+}
+
+type fifoCache[K comparable, V any] struct {
+	// hash picks the shard; any stable mix over the key's fields works.
+	hash   func(K) uint64
+	shards [fifoShards]fifoShard[K, V]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
+}
+
+// get returns the memoised value, counting the lookup.
+func (c *fifoCache[K, V]) get(k K) (V, bool) {
+	sh := &c.shards[c.hash(k)%fifoShards]
+	sh.mu.RLock()
+	v, ok := sh.entries[k]
+	sh.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// put inserts a computed value and returns the canonical one: if another
+// goroutine raced the compute and stored first, its value wins and the
+// caller's is discarded, so all callers share one slice/decomposition.
+func (c *fifoCache[K, V]) put(k K, v V) V {
+	sh := &c.shards[c.hash(k)%fifoShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if prev, ok := sh.entries[k]; ok {
+		return prev
+	}
+	if sh.entries == nil {
+		sh.entries = map[K]V{}
+	}
+	if len(sh.order) >= fifoShardCap {
+		oldest := sh.order[0]
+		sh.order = sh.order[1:]
+		delete(sh.entries, oldest)
+		c.evicts.Add(1)
+	}
+	sh.entries[k] = v
+	sh.order = append(sh.order, k)
+	return v
+}
+
+// reset drops every entry and zeroes the counters.
+func (c *fifoCache[K, V]) reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = nil
+		sh.order = nil
+		sh.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evicts.Store(0)
+}
+
+// stats snapshots the counters. Every miss computes, so Runs == Misses.
+func (c *fifoCache[K, V]) stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicts.Load(),
+	}
+	s.Runs = s.Misses
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		s.Entries += int64(len(sh.entries))
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// fnvMix folds the values into an FNV-1a hash (the same mix cacheKey.shard
+// uses) for shard selection.
+func fnvMix(vals ...int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range vals {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}

@@ -32,12 +32,10 @@ func CandidateSizes(p ProducerGrid, c ConsumerGrid) []int {
 		tileC: p.TileC, tileH: p.TileH, tileW: p.TileW,
 		winH: c.WinH, winW: c.WinW, stepH: c.StepH, stepW: c.StepW,
 	}
-	if v, ok := sizeCache.Load(key); ok {
-		return v.([]int)
+	if v, ok := sizeCache.get(key); ok {
+		return v
 	}
-	out := candidateSizes(p, c)
-	sizeCache.Store(key, out)
-	return out
+	return sizeCache.put(key, candidateSizes(p, c))
 }
 
 // candidateSizes is the unmemoised CandidateSizes.

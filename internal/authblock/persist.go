@@ -1,0 +1,137 @@
+package authblock
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"secureloop/internal/store"
+)
+
+// The persistent tier of the optimal-assignment memo: OptimalStoredCtx
+// layers a content-addressed disk store beneath the sharded in-memory
+// memo, so the same (producer, consumer, params) search resolves across
+// processes and restarts. The key canonically encodes every field of the
+// in-memory cacheKey; the value is the full Result.
+
+// optPrefix namespaces authblock records within the shared store.
+const optPrefix = "authblock.optimal"
+
+// optRuns counts actual OptimalCtx executions through the cached path —
+// misses that neither tier could answer. Warm-versus-cold assertions use
+// it to prove a warm sweep re-runs (almost) nothing.
+var optRuns atomic.Int64
+
+// OptimalRuns reports how many optimal searches actually executed via
+// OptimalCachedCtx / OptimalStoredCtx since the last reset.
+func OptimalRuns() int64 { return optRuns.Load() }
+
+// persistOptimalKey canonically encodes the memo identity.
+func persistOptimalKey(k cacheKey) store.Key {
+	e := store.NewEnc().String(optPrefix)
+	e.Int(int64(k.p.C)).Int(int64(k.p.H)).Int(int64(k.p.W)).
+		Int(int64(k.p.TileC)).Int(int64(k.p.TileH)).Int(int64(k.p.TileW)).
+		Int(k.p.WritesPerTile)
+	e.Int(int64(k.c.TileC)).
+		Int(int64(k.c.WinH)).Int(int64(k.c.WinW)).
+		Int(int64(k.c.StepH)).Int(int64(k.c.StepW)).
+		Int(int64(k.c.OffH)).Int(int64(k.c.OffW)).
+		Int(int64(k.c.CountC)).Int(int64(k.c.CountH)).Int(int64(k.c.CountW)).
+		Int(k.c.FetchesPerTile)
+	e.Int(int64(k.par.WordBits)).Int(int64(k.par.HashBits))
+	return e.Key()
+}
+
+func encodeResult(r Result) []byte {
+	return store.NewEnc().
+		Int(int64(r.Assignment.Orientation)).Int(int64(r.Assignment.U)).
+		Int(r.Costs.HashWriteBits).Int(r.Costs.HashReadBits).
+		Int(r.Costs.RedundantBits).Int(r.Costs.RehashBits).
+		Encoding()
+}
+
+func decodeResult(raw []byte) (Result, error) {
+	var r Result
+	d, err := store.NewDec(raw)
+	if err != nil {
+		return r, err
+	}
+	o, err := d.Int()
+	if err != nil {
+		return r, err
+	}
+	if o < 0 || o >= int64(NumOrientations) {
+		return r, fmt.Errorf("authblock: stored orientation %d out of range", o)
+	}
+	r.Assignment.Orientation = Orientation(o)
+	u, err := d.Int()
+	if err != nil {
+		return r, err
+	}
+	if u < 1 {
+		return r, fmt.Errorf("authblock: stored block size %d out of range", u)
+	}
+	r.Assignment.U = int(u)
+	for _, dst := range []*int64{
+		&r.Costs.HashWriteBits, &r.Costs.HashReadBits,
+		&r.Costs.RedundantBits, &r.Costs.RehashBits,
+	} {
+		if *dst, err = d.Int(); err != nil {
+			return r, err
+		}
+	}
+	if err := d.Done(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// OptimalStoredCtx is OptimalCachedCtx with a persistent tier: on an
+// in-memory miss it consults st (read-through) before running the search,
+// and a fresh result is written behind into both tiers. st may be nil, in
+// which case it is exactly OptimalCachedCtx. Undecodable records are
+// treated as misses, never errors.
+func OptimalStoredCtx(ctx context.Context, st *store.Store, p ProducerGrid, c ConsumerGrid, par Params) (Result, error) {
+	key := cacheKey{p: p, c: c, par: par}
+	s := &optShards[key.shard()]
+	s.mu.Lock()
+	if r, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		optHits.Add(1)
+		return r, nil
+	}
+	s.mu.Unlock()
+	optMisses.Add(1)
+
+	var pk store.Key
+	if st != nil {
+		pk = persistOptimalKey(key)
+		if raw, ok := st.Get(pk); ok {
+			if r, derr := decodeResult(raw); derr == nil {
+				s.mu.Lock()
+				if s.entries == nil {
+					s.entries = map[cacheKey]Result{}
+				}
+				s.entries[key] = r
+				s.mu.Unlock()
+				return r, nil
+			}
+		}
+	}
+
+	optRuns.Add(1)
+	r, err := OptimalCtx(ctx, p, c, par)
+	if err != nil {
+		return r, err
+	}
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = map[cacheKey]Result{}
+	}
+	s.entries[key] = r
+	s.mu.Unlock()
+	if st != nil {
+		st.Put(store.KindAuthBlock, pk, encodeResult(r))
+	}
+	return r, nil
+}

@@ -17,6 +17,7 @@ import (
 	"secureloop/internal/mapping"
 	"secureloop/internal/model"
 	"secureloop/internal/obs"
+	"secureloop/internal/store"
 	"secureloop/internal/workload"
 )
 
@@ -108,6 +109,12 @@ type Scheduler struct {
 	// the random annealing trajectory, so an observed run returns results
 	// byte-identical to an unobserved one.
 	Observe obs.Observer
+	// Store, when non-nil, is the persistent content-addressed result tier:
+	// whole-network schedules, per-layer mapper searches and AuthBlock
+	// optimal assignments read through to it and write behind into it, so
+	// identical requests resolve across processes and restarts. A store hit
+	// returns results byte-identical to the search it replaces.
+	Store *store.Store
 }
 
 // New returns a scheduler with the paper's default knobs: k=6 and 1000

@@ -80,7 +80,7 @@ func (r *run) computePair(a, b, ca, cb int) (authblock.Costs, authblock.Assignme
 		res := authblock.OptimalReference(p, c, r.s.Params)
 		return res.Costs, res.Assignment, nil
 	default:
-		res, err := authblock.OptimalCachedCtx(r.ctx, p, c, r.s.Params)
+		res, err := authblock.OptimalStoredCtx(r.ctx, r.s.Store, p, c, r.s.Params)
 		return res.Costs, res.Assignment, err
 	}
 }

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"secureloop/internal/authblock"
+	"secureloop/internal/mapper"
+	"secureloop/internal/model"
+	"secureloop/internal/store"
+	"secureloop/internal/workload"
+)
+
+// The network-level persistent tier: a whole ScheduleNetworkCtx result is
+// content-addressed by everything that determines it — layer shapes and
+// segment structure, architecture numerics, crypto-engine numerics,
+// AuthBlock params, k, the objective, the annealing trajectory knobs
+// (iterations, temperatures, seed) and the mapper search options. A warm
+// run over a known network is a single index lookup; the mapper and
+// authblock tiers below still serve partially overlapping requests
+// (different k, different segment cuts) that miss here.
+//
+// Deliberately excluded from the key: every Name field (results are
+// shape-keyed, names are labels), MaxParallel (parallel == serial is a
+// proven invariant of this codebase) and Observe/Store themselves.
+
+const netPrefix = "core.network"
+
+// persistNetworkKey canonically encodes the full request identity.
+func (s *Scheduler) persistNetworkKey(net *workload.Network, alg Algorithm) store.Key {
+	e := store.NewEnc().String(netPrefix).Int(int64(alg))
+
+	e.Int(int64(len(net.Layers)))
+	for i := range net.Layers {
+		mapper.EncodeLayerShape(e, net.Layers[i])
+	}
+	e.Int(int64(len(net.Segments)))
+	for _, seg := range net.Segments {
+		e.Int(int64(len(seg)))
+		for _, li := range seg {
+			e.Int(int64(li))
+		}
+	}
+
+	spec := s.Spec
+	e.Int(int64(spec.PEsX)).Int(int64(spec.PEsY)).
+		Int(int64(spec.GlobalBufferBytes)).Int(int64(spec.RegFileBytesPerPE)).
+		Int(int64(spec.WordBits)).Float(spec.ClockHz).
+		Int(int64(spec.DRAM.BytesPerCycle)).Float(spec.DRAM.EnergyPerBit)
+
+	eng := s.Crypto.Engine
+	e.Int(int64(eng.AES.Cycles)).Float(eng.AES.AreaKGates).Float(eng.AES.EnergyPJ).
+		Int(int64(eng.GFMult.Cycles)).Float(eng.GFMult.AreaKGates).Float(eng.GFMult.EnergyPJ).
+		Int(int64(s.Crypto.CountPerDatatype))
+
+	e.Int(int64(s.Params.WordBits)).Int(int64(s.Params.HashBits)).
+		Int(int64(s.TopK)).Int(int64(s.Objective))
+	e.Int(int64(s.Anneal.Iterations)).Float(s.Anneal.TInit).Float(s.Anneal.TFinal).Int(s.Anneal.Seed)
+	e.Int(int64(s.Mapper.Mode)).Float(s.Mapper.Epsilon).Bool(s.Mapper.DisableWarmStart)
+	return e.Key()
+}
+
+func encStats(e *store.Enc, st model.Stats) {
+	e.Int(st.Cycles).Int(st.ComputeCycles).Int(st.DRAMCycles).Int(st.CryptoCycles).
+		Float(st.EnergyPJ).Float(st.DRAMEnergyPJ).Float(st.CryptoEnergyPJ).Float(st.OnChipEnergyPJ).
+		Int(st.OffchipBits).Int(st.BaseOffchipBits).Float(st.Utilization)
+}
+
+func decStats(d *store.Dec) (model.Stats, error) {
+	var st model.Stats
+	var err error
+	for _, dst := range []*int64{&st.Cycles, &st.ComputeCycles, &st.DRAMCycles, &st.CryptoCycles} {
+		if *dst, err = d.Int(); err != nil {
+			return st, err
+		}
+	}
+	for _, dst := range []*float64{&st.EnergyPJ, &st.DRAMEnergyPJ, &st.CryptoEnergyPJ, &st.OnChipEnergyPJ} {
+		if *dst, err = d.Float(); err != nil {
+			return st, err
+		}
+	}
+	for _, dst := range []*int64{&st.OffchipBits, &st.BaseOffchipBits} {
+		if *dst, err = d.Int(); err != nil {
+			return st, err
+		}
+	}
+	if st.Utilization, err = d.Float(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+func encOverhead(e *store.Enc, ov model.Overhead) {
+	for i := 0; i < 3; i++ {
+		e.Int(ov.RedundantBits[i])
+	}
+	for i := 0; i < 3; i++ {
+		e.Int(ov.HashBits[i])
+	}
+	e.Int(ov.RehashBits)
+}
+
+func decOverhead(d *store.Dec) (model.Overhead, error) {
+	var ov model.Overhead
+	var err error
+	for i := 0; i < 3; i++ {
+		if ov.RedundantBits[i], err = d.Int(); err != nil {
+			return ov, err
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if ov.HashBits[i], err = d.Int(); err != nil {
+			return ov, err
+		}
+	}
+	if ov.RehashBits, err = d.Int(); err != nil {
+		return ov, err
+	}
+	return ov, nil
+}
+
+// encodeNetworkResult serialises the full result: every layer's schedule,
+// stats, overhead and ofmap assignment, then the totals.
+func encodeNetworkResult(res *NetworkResult) []byte {
+	e := store.NewEnc().Int(int64(len(res.Layers)))
+	for i := range res.Layers {
+		lr := &res.Layers[i]
+		e.Int(int64(lr.Index)).Int(int64(lr.Choice))
+		mapper.EncodeMapping(e, lr.Mapping)
+		encStats(e, lr.Stats)
+		encOverhead(e, lr.Overhead)
+		e.Int(int64(lr.OfmapAssignment.Orientation)).Int(int64(lr.OfmapAssignment.U))
+	}
+	encStats(e, res.Total)
+	e.Int(res.Traffic.HashBits).Int(res.Traffic.RedundantBits).Int(res.Traffic.RehashBits)
+	return e.Encoding()
+}
+
+// decodeNetworkResult is the inverse; net and alg (the request's own
+// inputs) fill the fields the encoding omits. Any structural error fails
+// the decode as a whole and the caller recomputes.
+func decodeNetworkResult(raw []byte, net *workload.Network, alg Algorithm) (*NetworkResult, error) {
+	d, err := store.NewDec(raw)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.Int()
+	if err != nil {
+		return nil, err
+	}
+	if n != int64(net.NumLayers()) {
+		return nil, fmt.Errorf("core: stored result has %d layers, want %d", n, net.NumLayers())
+	}
+	out := &NetworkResult{Network: net, Algorithm: alg}
+	for i := int64(0); i < n; i++ {
+		var lr LayerResult
+		idx, err := d.Int()
+		if err != nil {
+			return nil, err
+		}
+		if idx != i {
+			return nil, fmt.Errorf("core: stored layer index %d at position %d", idx, i)
+		}
+		lr.Index = int(idx)
+		choice, err := d.Int()
+		if err != nil {
+			return nil, err
+		}
+		if choice < 0 {
+			return nil, fmt.Errorf("core: stored choice %d out of range", choice)
+		}
+		lr.Choice = int(choice)
+		if lr.Mapping, err = mapper.DecodeMapping(d); err != nil {
+			return nil, err
+		}
+		if lr.Stats, err = decStats(d); err != nil {
+			return nil, err
+		}
+		if lr.Overhead, err = decOverhead(d); err != nil {
+			return nil, err
+		}
+		o, err := d.Int()
+		if err != nil {
+			return nil, err
+		}
+		if o < 0 || o >= int64(authblock.NumOrientations) {
+			return nil, fmt.Errorf("core: stored orientation %d out of range", o)
+		}
+		lr.OfmapAssignment.Orientation = authblock.Orientation(o)
+		u, err := d.Int()
+		if err != nil {
+			return nil, err
+		}
+		if u < 0 {
+			return nil, fmt.Errorf("core: stored block size %d out of range", u)
+		}
+		lr.OfmapAssignment.U = int(u)
+		out.Layers = append(out.Layers, lr)
+	}
+	if out.Total, err = decStats(d); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*int64{&out.Traffic.HashBits, &out.Traffic.RedundantBits, &out.Traffic.RehashBits} {
+		if *dst, err = d.Int(); err != nil {
+			return nil, err
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -20,6 +20,7 @@ import (
 	"secureloop/internal/mapper"
 	"secureloop/internal/num"
 	"secureloop/internal/obs"
+	"secureloop/internal/store"
 	"secureloop/internal/workload"
 )
 
@@ -77,6 +78,11 @@ type Options struct {
 	// order — results are identical either way, but warm-start hit counts
 	// become reproducible.
 	MaxParallel int
+	// Store, when non-nil, persists every design point's schedules into the
+	// content-addressed result store, so re-running the same sweep — in this
+	// process or a later one — replays byte-identical results from disk
+	// instead of recomputing the searches.
+	Store *store.Store
 }
 
 func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core.Scheduler {
@@ -85,6 +91,7 @@ func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core
 		s.Anneal.Iterations = opt.AnnealIterations
 	}
 	s.Mapper = opt.Mapper
+	s.Store = opt.Store
 	return s
 }
 

@@ -19,11 +19,13 @@ func baseCrypto() cryptoengine.Config {
 }
 
 // newScheduler builds a scheduler carrying the experiment's observer, so
-// every schedule an experiment runs reports progress through the same hook.
+// every schedule an experiment runs reports progress through the same hook,
+// and its persistent store, so warm reruns replay schedules from disk.
 func (o Options) newScheduler(spec arch.Spec, crypto cryptoengine.Config) *core.Scheduler {
 	s := core.New(spec, crypto)
 	s.Observe = o.Observe
 	s.Mapper = o.Mapper
+	s.Store = o.Store
 	return s
 }
 

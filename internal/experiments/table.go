@@ -11,6 +11,7 @@ import (
 
 	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
+	"secureloop/internal/store"
 )
 
 // Table is one experiment's output: a header and rows of formatted cells.
@@ -97,6 +98,10 @@ type Options struct {
 	// experiment builds (zero value: exhaustive); cmd/experiments wires its
 	// -guided flag here.
 	Mapper mapper.Options
+	// Store, when non-nil, is the persistent result tier shared by every
+	// scheduler an experiment builds; cmd/experiments wires its -store flag
+	// here. Warm reruns of a figure replay schedules from disk.
+	Store *store.Store
 }
 
 func (o Options) annealIters(full int) int {

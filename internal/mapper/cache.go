@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"secureloop/internal/store"
 	"secureloop/internal/workload"
 )
 
@@ -44,8 +45,8 @@ type inflightSearch struct {
 
 type cacheShard struct {
 	mu       sync.Mutex
-	entries  map[cacheKey][]Candidate        // guarded by mu
-	inflight map[cacheKey]*inflightSearch    // guarded by mu
+	entries  map[cacheKey][]Candidate     // guarded by mu
+	inflight map[cacheKey]*inflightSearch // guarded by mu
 }
 
 var (
@@ -192,7 +193,7 @@ func SearchCachedCtx(ctx context.Context, req Request) ([]Candidate, error) {
 		cacheMisses.Add(1)
 		full := req
 		full.TopK = storeK
-		val, err := SearchCtx(ctx, full)
+		val, err := searchOrLoad(ctx, full, key)
 
 		sh.mu.Lock()
 		if err == nil {
@@ -210,6 +211,29 @@ func SearchCachedCtx(ctx context.Context, req Request) ([]Candidate, error) {
 		}
 		return clipTopK(val, req.TopK), nil
 	}
+}
+
+// searchOrLoad resolves a cache miss: consult the persistent store first
+// (read-through), fall back to the real search, and write the fresh result
+// behind. It runs only on the singleflight leader, so concurrent identical
+// misses cost one disk lookup, not one per waiter. A record that fails to
+// decode (version skew, corruption that slipped past the CRC) is treated
+// as a miss — never an error.
+func searchOrLoad(ctx context.Context, full Request, key cacheKey) ([]Candidate, error) {
+	if full.Store == nil {
+		return SearchCtx(ctx, full)
+	}
+	pk := persistSearchKey(key)
+	if raw, ok := full.Store.Get(pk); ok {
+		if val, derr := decodeCandidates(raw); derr == nil {
+			return val, nil
+		}
+	}
+	val, err := SearchCtx(ctx, full)
+	if err == nil {
+		full.Store.Put(store.KindMapper, pk, encodeCandidates(val))
+	}
+	return val, err
 }
 
 func clipTopK(got []Candidate, k int) []Candidate {

@@ -29,6 +29,7 @@ import (
 	"secureloop/internal/model"
 	"secureloop/internal/num"
 	"secureloop/internal/obs"
+	"secureloop/internal/store"
 	"secureloop/internal/workload"
 )
 
@@ -71,6 +72,12 @@ type Request struct {
 	// evaluated/pruned/skipped accounting); nil means none. It is not part
 	// of the cached-search identity.
 	Observe obs.Observer
+	// Store, when non-nil, is the persistent result tier consulted by
+	// SearchCachedCtx on an in-memory miss and populated (write-behind)
+	// after a successful search. Like Observe it is not part of the
+	// cached-search identity: a store hit is byte-identical to the search
+	// it replaces.
+	Store *store.Store
 }
 
 // Search returns the top-k schedules for the request, best first. The

@@ -50,8 +50,8 @@ func TestWarmKeyCanonicalisation(t *testing.T) {
 	diff := []Request{base, base, base}
 	lc := l
 	lc.C++
-	diff[0].Layer = &lc // channel counts are exact
-	diff[1].PEsX++      // array shape is exact
+	diff[0].Layer = &lc                                              // channel counts are exact
+	diff[1].PEsX++                                                   // array shape is exact
 	diff[2].EffectiveBytesPerCycle = base.EffectiveBytesPerCycle * 4 // different bucket
 	for i, rq := range diff {
 		if kd := warmKeyFor(rq); kd == k0 {

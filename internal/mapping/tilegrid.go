@@ -176,4 +176,3 @@ func (m *Mapping) WeightDRAMTiling(layer *workload.Layer) WeightTiling {
 		FetchesPer: f,
 	}
 }
-

@@ -96,10 +96,10 @@ type Observer interface {
 // Nop is the no-op Observer; the zero value is ready to use.
 type Nop struct{}
 
-func (Nop) StageStart(StageEvent)       {}
-func (Nop) StageEnd(StageEvent)         {}
-func (Nop) LayerScheduled(LayerEvent)   {}
-func (Nop) AnnealProgress(AnnealEvent)  {}
+func (Nop) StageStart(StageEvent)          {}
+func (Nop) StageEnd(StageEvent)            {}
+func (Nop) LayerScheduled(LayerEvent)      {}
+func (Nop) AnnealProgress(AnnealEvent)     {}
 func (Nop) MapperSearch(MapperSearchEvent) {}
 
 // OrNop returns o, or the no-op observer when o is nil, so pipeline code

@@ -1,0 +1,302 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/workload"
+)
+
+// encLayer encodes a layer shape the way the mapper's persistent key does:
+// every field that determines the search result, in declaration order.
+func encLayer(e *Enc, l workload.Layer) *Enc {
+	return e.Int(int64(l.C)).Int(int64(l.M)).Int(int64(l.R)).Int(int64(l.S)).
+		Int(int64(l.P)).Int(int64(l.Q)).Int(int64(l.StrideH)).Int(int64(l.StrideW)).
+		Int(int64(l.PadH)).Int(int64(l.PadW)).Int(int64(l.N)).
+		Bool(l.Depthwise).Int(int64(l.WordBits))
+}
+
+func encArch(e *Enc, s arch.Spec) *Enc {
+	return e.Int(int64(s.PEsX)).Int(int64(s.PEsY)).
+		Int(int64(s.GlobalBufferBytes)).Int(int64(s.RegFileBytesPerPE)).
+		Int(int64(s.WordBits)).Float(s.ClockHz).
+		Int(int64(s.DRAM.BytesPerCycle)).Float(s.DRAM.EnergyPerBit)
+}
+
+func TestKeyCodecRoundTripRealSpecs(t *testing.T) {
+	layer := workload.AlexNet().Layers[0]
+	spec := arch.Base()
+	eng := cryptoengine.Parallel()
+
+	build := func() *Enc {
+		e := NewEnc().String("test.request")
+		encLayer(e, layer)
+		encArch(e, spec)
+		return e.Int(int64(eng.AES.Cycles)).Float(eng.AES.EnergyPJ).
+			Float(eng.AES.AreaKGates).Int(int64(eng.GFMult.Cycles)).
+			Bool(layer.Depthwise).Bytes([]byte{1, 2, 3})
+	}
+	e1, e2 := build(), build()
+	if !bytes.Equal(e1.Encoding(), e2.Encoding()) {
+		t.Fatal("encoding is not deterministic across independent encoders")
+	}
+	if e1.Key() != e2.Key() {
+		t.Fatal("keys differ for identical field sequences")
+	}
+
+	d, err := NewDec(e1.Encoding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err := d.String(); err != nil || s != "test.request" {
+		t.Fatalf("prefix = %q, %v", s, err)
+	}
+	wantInts := []int64{
+		int64(layer.C), int64(layer.M), int64(layer.R), int64(layer.S),
+		int64(layer.P), int64(layer.Q), int64(layer.StrideH), int64(layer.StrideW),
+		int64(layer.PadH), int64(layer.PadW), int64(layer.N),
+	}
+	for i, want := range wantInts {
+		got, err := d.Int()
+		if err != nil || got != want {
+			t.Fatalf("layer int %d = %d, %v; want %d", i, got, err, want)
+		}
+	}
+	if b, err := d.Bool(); err != nil || b != layer.Depthwise {
+		t.Fatalf("depthwise = %v, %v", b, err)
+	}
+	if v, err := d.Int(); err != nil || v != int64(layer.WordBits) {
+		t.Fatalf("wordbits = %d, %v", v, err)
+	}
+	// Drain the arch + engine fields and confirm completeness.
+	for _, step := range []byte{tagInt, tagInt, tagInt, tagInt, tagInt, tagFloat, tagInt, tagFloat,
+		tagInt, tagFloat, tagFloat, tagInt, tagBool, tagBytes} {
+		var err error
+		switch step {
+		case tagInt:
+			_, err = d.Int()
+		case tagFloat:
+			_, err = d.Float()
+		case tagBool:
+			_, err = d.Bool()
+		case tagBytes:
+			_, err = d.Bytes()
+		}
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+}
+
+// TestKeyDistinctPerturbations checks injectivity over real specs: changing
+// any single field of the request must change the key.
+func TestKeyDistinctPerturbations(t *testing.T) {
+	base := workload.ResNet18().Layers[3]
+	spec := arch.Base()
+	enc := func(l workload.Layer, s arch.Spec, k int) Key {
+		e := NewEnc().String("perturb")
+		encLayer(e, l)
+		encArch(e, s)
+		return e.Int(int64(k)).Key()
+	}
+	ref := enc(base, spec, 6)
+	seen := map[Key]string{}
+	seen[ref] = "base"
+
+	perturb := []struct {
+		name string
+		key  Key
+	}{
+		{"C+1", func() Key { l := base; l.C++; return enc(l, spec, 6) }()},
+		{"M+1", func() Key { l := base; l.M++; return enc(l, spec, 6) }()},
+		{"P+1", func() Key { l := base; l.P++; return enc(l, spec, 6) }()},
+		{"Q+1", func() Key { l := base; l.Q++; return enc(l, spec, 6) }()},
+		{"stride", func() Key { l := base; l.StrideH = 2; l.StrideW = 2; return enc(l, spec, 6) }()},
+		{"depthwise", func() Key { l := base; l.Depthwise = !l.Depthwise; return enc(l, spec, 6) }()},
+		{"pesx", func() Key { s := spec; s.PEsX++; return enc(base, s, 6) }()},
+		{"glb", func() Key { s := spec; s.GlobalBufferBytes *= 2; return enc(base, s, 6) }()},
+		{"clock", func() Key { s := spec; s.ClockHz *= 2; return enc(base, s, 6) }()},
+		{"k", enc(base, spec, 7)},
+	}
+	for _, p := range perturb {
+		if prev, dup := seen[p.key]; dup {
+			t.Fatalf("perturbation %q collides with %q", p.name, prev)
+		}
+		seen[p.key] = p.name
+	}
+}
+
+// TestStringFieldsDoNotAlias pins the injectivity property the length
+// prefix exists for: ("ab","c") and ("a","bc") must encode differently.
+func TestStringFieldsDoNotAlias(t *testing.T) {
+	a := NewEnc().String("ab").String("c").Key()
+	b := NewEnc().String("a").String("bc").Key()
+	if a == b {
+		t.Fatal("adjacent string fields alias")
+	}
+}
+
+func TestDecRejectsWrongVersion(t *testing.T) {
+	e := NewEnc().Int(1)
+	raw := append([]byte(nil), e.Encoding()...)
+	raw[0] = Version + 1
+	if _, err := NewDec(raw); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	if _, err := NewDec(nil); err == nil {
+		t.Fatal("empty encoding accepted")
+	}
+}
+
+func TestDecRejectsTrailingAndTruncated(t *testing.T) {
+	e := NewEnc().Int(42).Bool(true)
+	d, err := NewDec(e.Encoding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Int(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Done(); err == nil {
+		t.Fatal("Done accepted unread trailing field")
+	}
+	// Truncated stream: cut mid-field.
+	raw := e.Encoding()[:5]
+	d2, err := NewDec(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Int(); err == nil {
+		t.Fatal("truncated int decoded")
+	}
+	// Wrong-tag read must not consume, so the right read still works.
+	d3, _ := NewDec(e.Encoding())
+	if _, err := d3.Bool(); err == nil {
+		t.Fatal("tag mismatch accepted")
+	}
+	if v, err := d3.Int(); err != nil || v != 42 {
+		t.Fatalf("recovery after tag mismatch: %d, %v", v, err)
+	}
+}
+
+// FuzzKeyCodec fuzzes the canonical encoder end to end: round-trip
+// decoding, determinism across independently built encoders, and
+// distinctness (a single perturbed field must change both the encoding
+// and the key). The corpus is seeded with field values from the real
+// layer/arch/crypto specs the production keys are built from.
+func FuzzKeyCodec(f *testing.F) {
+	spec := arch.Base()
+	for _, eng := range []cryptoengine.EngineArch{
+		cryptoengine.Pipelined(), cryptoengine.Parallel(), cryptoengine.Serial(),
+	} {
+		f.Add(int64(eng.AES.Cycles), int64(eng.GFMult.Cycles), eng.AES.EnergyPJ,
+			false, eng.Name, []byte{KindAuthBlock}, uint8(1))
+	}
+	for _, net := range []*workload.Network{workload.AlexNet(), workload.ResNet18()} {
+		for _, l := range net.Layers[:3] {
+			f.Add(int64(l.C), int64(l.M), spec.ClockHz, l.Depthwise, l.Name,
+				[]byte{byte(l.P), byte(l.Q)}, uint8(l.WordBits))
+		}
+	}
+	f.Add(int64(math.MaxInt64), int64(math.MinInt64), math.Inf(1), true, "", []byte(nil), uint8(0))
+	f.Add(int64(0), int64(-1), math.NaN(), false, "\x00\xff", []byte{0}, uint8(255))
+
+	f.Fuzz(func(t *testing.T, a, b int64, fl float64, bo bool, s string, raw []byte, n uint8) {
+		build := func(a0 int64) *Enc {
+			return NewEnc().Int(a0).Int(b).Float(fl).Bool(bo).String(s).Bytes(raw).Int(int64(n))
+		}
+		e1, e2 := build(a), build(a)
+		if !bytes.Equal(e1.Encoding(), e2.Encoding()) {
+			t.Fatal("determinism: independent encoders disagree")
+		}
+		if e1.Key() != e2.Key() {
+			t.Fatal("determinism: keys disagree")
+		}
+
+		d, err := NewDec(e1.Encoding())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ga, err := d.Int()
+		if err != nil || ga != a {
+			t.Fatalf("Int a: %d, %v", ga, err)
+		}
+		gb, err := d.Int()
+		if err != nil || gb != b {
+			t.Fatalf("Int b: %d, %v", gb, err)
+		}
+		gf, err := d.Float()
+		if err != nil || math.Float64bits(gf) != math.Float64bits(fl) {
+			t.Fatalf("Float: %v, %v", gf, err)
+		}
+		gbo, err := d.Bool()
+		if err != nil || gbo != bo {
+			t.Fatalf("Bool: %v, %v", gbo, err)
+		}
+		gs, err := d.String()
+		if err != nil || gs != s {
+			t.Fatalf("String: %q, %v", gs, err)
+		}
+		gr, err := d.Bytes()
+		if err != nil || !bytes.Equal(gr, raw) {
+			t.Fatalf("Bytes: %v, %v", gr, err)
+		}
+		gn, err := d.Int()
+		if err != nil || gn != int64(n) {
+			t.Fatalf("Int n: %d, %v", gn, err)
+		}
+		if err := d.Done(); err != nil {
+			t.Fatalf("Done: %v", err)
+		}
+
+		// Distinctness: perturbing one field changes encoding and key.
+		e3 := build(a + 1)
+		if bytes.Equal(e1.Encoding(), e3.Encoding()) {
+			t.Fatal("distinct inputs share an encoding")
+		}
+		if e1.Key() == e3.Key() {
+			t.Fatal("distinct inputs share a key")
+		}
+	})
+}
+
+// FuzzDecoderRobust feeds arbitrary bytes to the decoder: every accessor
+// must fail cleanly (no panic, no unbounded allocation), and tag
+// mismatches must not consume input.
+func FuzzDecoderRobust(f *testing.F) {
+	f.Add([]byte{Version, tagInt, 0, 0, 0, 0, 0, 0, 0, 42})
+	f.Add([]byte{Version, tagString, 0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add([]byte{Version})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		d, err := NewDec(raw)
+		if err != nil {
+			return
+		}
+		for i := 0; i < len(raw)+2; i++ {
+			if _, err := d.Int(); err == nil {
+				continue
+			}
+			if _, err := d.Float(); err == nil {
+				continue
+			}
+			if _, err := d.Bool(); err == nil {
+				continue
+			}
+			if _, err := d.String(); err == nil {
+				continue
+			}
+			if _, err := d.Bytes(); err == nil {
+				continue
+			}
+			break
+		}
+		_ = d.Done()
+	})
+}
