@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	securelint [-json] [-tests] [-checks list] [packages]
+//	securelint [-json] [-tests] [-checks list] [-graph] [packages]
 //
 //	securelint ./...                  # lint the whole module
 //	securelint -json ./internal/...   # machine-readable findings
 //	securelint -checks ceildiv,mapdet ./internal/mapping
+//	securelint -graph ./internal/...  # dump the interprocedural call graph
 //
 // Findings print as file:line:col: [check] message. Suppress a documented
 // false positive by placing
@@ -49,6 +50,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tests   = fs.Bool("tests", false, "also lint in-package _test.go files")
 		checks  = fs.String("checks", "", "comma-separated subset of checks (default: all)")
 		list    = fs.Bool("list", false, "list the registered checks and exit")
+		graph   = fs.Bool("graph", false, "dump the module-wide call graph the interprocedural checks run on, then exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,6 +59,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
+		return 0
+	}
+	if *graph {
+		g, err := lint.GraphCtx(ctx, lint.Config{Patterns: fs.Args()})
+		if err != nil {
+			fmt.Fprintln(stderr, "securelint:", err)
+			return 2
+		}
+		g.Dump(stdout)
 		return 0
 	}
 

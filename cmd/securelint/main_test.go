@@ -103,10 +103,39 @@ func TestListChecks(t *testing.T) {
 	if code := run(context.Background(), []string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"ceildiv", "overflowmul", "mapdet", "lockguard", "floateq", "ctxfirst"} {
+	for _, name := range []string{"ceildiv", "overflowmul", "mapdet", "lockguard", "floateq", "ctxfirst", "keydrift", "puredet"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
+	}
+}
+
+const callerSource = `package scratch
+
+func entry() int {
+	return helper() + 1
+}
+
+func helper() int {
+	return 41
+}
+`
+
+// TestGraphOutput verifies -graph dumps the call graph with the resolved
+// edge instead of linting.
+func TestGraphOutput(t *testing.T) {
+	dir := writeScratch(t, callerSource)
+	var out, errOut strings.Builder
+	code := run(context.Background(), []string{"-graph", dir}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "call graph: 2 functions, 1 call edges") {
+		t.Fatalf("graph summary missing:\n%s", got)
+	}
+	if !strings.Contains(got, ".helper (line 4)") {
+		t.Fatalf("entry -> helper edge missing:\n%s", got)
 	}
 }
 

@@ -21,7 +21,20 @@ import (
 //
 // Deliberately excluded from the key: every Name field (results are
 // shape-keyed, names are labels), MaxParallel (parallel == serial is a
-// proven invariant of this codebase) and Observe/Store themselves.
+// proven invariant of this codebase) and Observe/Store themselves. Each
+// exclusion is waived for the keydrift check, which otherwise requires
+// every request field to reach a store.Enc call:
+//
+// storekey:exclude workload.Network.Name results are shape-keyed; the network name is a label
+// storekey:exclude workload.Layer.Name results are shape-keyed; the layer name is a label
+// storekey:exclude arch.Spec.Name architecture names are labels over the encoded numerics
+// storekey:exclude arch.DRAMTech.Name DRAM technology names are labels over the encoded numerics
+// storekey:exclude cryptoengine.EngineArch.Name engine names are labels over the encoded unit specs
+// storekey:exclude anneal.Options.Observer observability only; values flow in, never back into results
+// storekey:exclude anneal.Options.Tag progress-event label, not part of the search identity
+// storekey:exclude core.Scheduler.MaxParallel parallel == serial is a proven invariant; worker count cannot change results
+// storekey:exclude core.Scheduler.Observe observability only; values flow in, never back into results
+// storekey:exclude core.Scheduler.Store the store is the cache itself, not part of the request identity
 
 const netPrefix = "core.network"
 

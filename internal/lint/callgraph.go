@@ -1,0 +1,391 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"io"
+	"sort"
+)
+
+// The interprocedural layer: a module-wide static call graph over every
+// loaded package, built from the same go/types information the per-package
+// checks already use. Module-level analyzers (keydrift, puredet) run on top
+// of it through ModulePass; `securelint -graph` dumps it for debugging new
+// checks.
+//
+// Resolution strategy, from most to least precise:
+//
+//   - Static calls (plain functions, package-qualified functions, methods on
+//     concrete types) resolve to exactly one callee.
+//   - Interface method calls resolve to the abstract method plus every
+//     concrete method of a module-declared type whose method set satisfies
+//     the interface (class-hierarchy style over the module's named types).
+//   - Calls through function-typed values (variables, parameters, struct
+//     fields — the scheduler/mapper pipeline stores hooks this way) resolve
+//     to every module function whose address is taken somewhere and whose
+//     signature matches the call site.
+//
+// The last two are over-approximations: reachability never misses a real
+// callee that the module's own source can name, at the cost of some extra
+// edges. Function literals are not separate nodes — a closure's body belongs
+// to the function that lexically encloses it, which is sound for
+// reachability (the closure cannot run unless its creator was reached).
+// Calls to functions outside the module (stdlib, GOROOT) appear as edges to
+// leaf callees with no node of their own, so checks can still classify them
+// (puredet's time.Now detection). Test files are never part of the graph:
+// module analyses describe the shipped code, not its tests.
+
+// Graph is the module-wide call graph.
+type Graph struct {
+	// Nodes maps every function declared (with a body) in the loaded
+	// packages to its node. Callees outside the module have edges pointing
+	// at them but no node.
+	Nodes map[*types.Func]*FuncNode
+
+	fset *token.FileSet
+}
+
+// FuncNode is one declared function or method and its outgoing calls.
+type FuncNode struct {
+	Obj  *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Calls lists the resolved call sites in source order.
+	Calls []Call
+}
+
+// Call is one resolved call edge.
+type Call struct {
+	// Callee is the resolved target; it may have no node when declared
+	// outside the loaded packages (stdlib) or when it is an abstract
+	// interface method.
+	Callee *types.Func
+	// Pos is the call site.
+	Pos token.Pos
+	// Dynamic marks edges found by approximation (interface method-set
+	// resolution, address-taken function values) rather than direct naming.
+	Dynamic bool
+}
+
+// BuildGraph constructs the call graph over the given packages. The packages
+// must share one FileSet and one type-checking session (one loader), so
+// types.Func objects are identical across package boundaries.
+func BuildGraph(pkgs []*Package) *Graph {
+	g := &Graph{Nodes: map[*types.Func]*FuncNode{}}
+	if len(pkgs) == 0 {
+		return g
+	}
+	g.fset = pkgs[0].Fset
+
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.Nodes[obj] = &FuncNode{Obj: obj, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+
+	concrete := concreteNamedTypes(pkgs)
+	taken := addressTakenFuncs(pkgs)
+
+	for _, node := range g.Nodes {
+		g.resolveCalls(node, concrete, taken)
+		sort.Slice(node.Calls, func(i, j int) bool {
+			a, b := node.Calls[i], node.Calls[j]
+			if a.Pos != b.Pos {
+				return a.Pos < b.Pos
+			}
+			return a.Callee.FullName() < b.Callee.FullName()
+		})
+	}
+	return g
+}
+
+// concreteNamedTypes collects every non-interface named type declared at
+// package level in the loaded packages, sorted by name for deterministic
+// edge construction.
+func concreteNamedTypes(pkgs []*Package) []*types.Named {
+	var out []*types.Named
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			out = append(out, named)
+		}
+	}
+	return out
+}
+
+// addressTakenFuncs collects module functions whose value escapes — referenced
+// anywhere outside call position (assigned to a variable or struct field,
+// passed as an argument, stored in a composite literal). These are the
+// candidate targets of calls through function-typed values.
+func addressTakenFuncs(pkgs []*Package) map[*types.Func]bool {
+	taken := map[*types.Func]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			// First mark every expression that is the callee of a call, so
+			// the second walk can tell a reference from an invocation.
+			callPos := map[ast.Node]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fun := unparen(call.Fun)
+				callPos[fun] = true
+				if sel, ok := fun.(*ast.SelectorExpr); ok {
+					callPos[sel.Sel] = true
+				}
+				return true
+			})
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || callPos[id] {
+					return true
+				}
+				if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+					taken[fn] = true
+				}
+				return true
+			})
+		}
+	}
+	return taken
+}
+
+// resolveCalls walks one function body (closures included) and records an
+// edge per call site.
+func (g *Graph) resolveCalls(node *FuncNode, concrete []*types.Named, taken map[*types.Func]bool) {
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := unparen(call.Fun)
+		if tv, ok := info.Types[fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		switch f := fun.(type) {
+		case *ast.Ident:
+			switch obj := info.Uses[f].(type) {
+			case *types.Func:
+				node.addCall(obj, call.Pos(), false)
+			case *types.Builtin, *types.TypeName, nil:
+				// len/cap/append/...; conversions handled above.
+			default:
+				// Call through a function-typed variable or parameter.
+				g.addDynamicCalls(node, call, taken)
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[f]; ok {
+				switch sel.Kind() {
+				case types.MethodVal, types.MethodExpr:
+					m, ok := sel.Obj().(*types.Func)
+					if !ok {
+						return true
+					}
+					if isInterfaceMethod(m) {
+						node.addCall(m, call.Pos(), false)
+						for _, impl := range implementations(m, concrete) {
+							node.addCall(impl, call.Pos(), true)
+						}
+					} else {
+						node.addCall(m, call.Pos(), false)
+					}
+				case types.FieldVal:
+					// Call through a function-typed struct field.
+					g.addDynamicCalls(node, call, taken)
+				}
+				return true
+			}
+			if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+				// Package-qualified function (pkg.Fn) or method expression
+				// on an imported type.
+				node.addCall(fn, call.Pos(), false)
+				return true
+			}
+			// Package-level variable of function type (pkg.Hook(...)).
+			g.addDynamicCalls(node, call, taken)
+		case *ast.FuncLit:
+			// The literal's body is walked as part of this node; calling it
+			// immediately adds nothing new.
+		default:
+			// Call of a call's result, an indexed function slice, etc.
+			g.addDynamicCalls(node, call, taken)
+		}
+		return true
+	})
+}
+
+func (n *FuncNode) addCall(callee *types.Func, pos token.Pos, dynamic bool) {
+	n.Calls = append(n.Calls, Call{Callee: callee, Pos: pos, Dynamic: dynamic})
+}
+
+// addDynamicCalls resolves a call through a function-typed value to every
+// address-taken module function with a matching signature.
+func (g *Graph) addDynamicCalls(node *FuncNode, call *ast.CallExpr, taken map[*types.Func]bool) {
+	t := node.Pkg.Info.TypeOf(call.Fun)
+	if t == nil {
+		return
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	var cands []*types.Func
+	for fn := range taken {
+		if g.Nodes[fn] == nil {
+			continue // only module functions can be analyzed anyway
+		}
+		if sigMatches(fn.Type().(*types.Signature), sig) {
+			cands = append(cands, fn)
+		}
+	}
+	// Map iteration above is unordered; sort before the edges are recorded
+	// so the graph (and everything derived from it) is deterministic.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].FullName() < cands[j].FullName() })
+	for _, fn := range cands {
+		node.addCall(fn, call.Pos(), true)
+	}
+}
+
+// sigMatches compares two signatures ignoring receivers (a method value's
+// receiver is bound before the value is stored, so only the visible
+// parameters and results identify it at a dynamic call site).
+func sigMatches(a, b *types.Signature) bool {
+	stripped := func(s *types.Signature) *types.Signature {
+		if s.Recv() == nil {
+			return s
+		}
+		return types.NewSignatureType(nil, nil, nil, s.Params(), s.Results(), s.Variadic())
+	}
+	return types.Identical(stripped(a), stripped(b))
+}
+
+func isInterfaceMethod(m *types.Func) bool {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// implementations resolves an interface method to the concrete methods of
+// every module type that satisfies the interface.
+func implementations(m *types.Func, concrete []*types.Named) []*types.Func {
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	for _, named := range concrete {
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// FuncsNamed returns the functions declared in pkg with the given name (a
+// package can declare one function and several same-named methods), sorted
+// by position.
+func (g *Graph) FuncsNamed(pkg *Package, name string) []*types.Func {
+	var out []*types.Func
+	for obj, node := range g.Nodes {
+		if node.Pkg == pkg && obj.Name() == name {
+			out = append(out, obj)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// ReachableFrom walks the graph breadth-first from the seed functions and
+// returns, for every reachable function (seeds included, leaf callees
+// included), the seed that first reached it — the witness named in
+// diagnostics.
+func (g *Graph) ReachableFrom(seeds []*types.Func) map[*types.Func]*types.Func {
+	witness := map[*types.Func]*types.Func{}
+	var queue []*types.Func
+	for _, s := range seeds {
+		if s == nil {
+			continue
+		}
+		if _, ok := witness[s]; ok {
+			continue
+		}
+		witness[s] = s
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := g.Nodes[fn]
+		if node == nil {
+			continue // leaf: external function or abstract method
+		}
+		for _, c := range node.Calls {
+			if _, ok := witness[c.Callee]; ok {
+				continue
+			}
+			witness[c.Callee] = witness[fn]
+			queue = append(queue, c.Callee)
+		}
+	}
+	return witness
+}
+
+// Dump writes a deterministic listing of the graph: every module function
+// sorted by full name, each followed by its call sites in source order.
+// Dynamic (approximated) edges are marked.
+func (g *Graph) Dump(w io.Writer) {
+	nodes := make([]*FuncNode, 0, len(g.Nodes))
+	var sites int
+	for _, n := range g.Nodes {
+		nodes = append(nodes, n)
+		sites += len(n.Calls)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Obj.FullName() < nodes[j].Obj.FullName() })
+	fmt.Fprintf(w, "call graph: %d functions, %d call edges\n", len(nodes), sites)
+	for _, n := range nodes {
+		pos := g.fset.Position(n.Decl.Pos())
+		fmt.Fprintf(w, "func %s (%s:%d)\n", n.Obj.FullName(), pos.Filename, pos.Line)
+		for _, c := range n.Calls {
+			mark := ""
+			if c.Dynamic {
+				mark = " [dynamic]"
+			}
+			fmt.Fprintf(w, "  -> %s (line %d)%s\n", c.Callee.FullName(), g.fset.Position(c.Pos).Line, mark)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirectives hammers the two directive parsers with arbitrary
+// comment text. Invariants: no panics; a parse error never co-exists with a
+// parsed payload; well-formed results round-trip their own constraints
+// (known check names only, non-empty reasons, three-segment waiver paths);
+// and text without the directive marker never parses as a directive.
+func FuzzIgnoreDirectives(f *testing.F) {
+	f.Add("//securelint:ignore ceildiv reason text")
+	f.Add("// securelint:ignore mapdet,puredet two checks, one reason")
+	f.Add("//securelint:ignore all everything off")
+	f.Add("//securelint:ignore nosuchcheck typo")
+	f.Add("//securelint:ignore ceildiv")
+	f.Add("//securelint:ignore")
+	f.Add("//securelint:ignorex not the directive")
+	f.Add("// just a comment")
+	f.Add("// storekey:exclude mapper.cacheKey.opt reason")
+	f.Add("// storekey:exclude bad.path only two segments... no, three dots")
+	f.Add("// storekey:exclude a.b.c")
+	f.Add("// storekey:exclude")
+	f.Add("//securelint:ignore ceildiv,,floateq double comma")
+	f.Add("//securelint:ignore , only commas")
+
+	valid := map[string]bool{}
+	for _, n := range knownCheckNames() {
+		valid[n] = true
+	}
+
+	f.Fuzz(func(t *testing.T, comment string) {
+		checks, reason, err := parseIgnoreDirective(comment)
+		if err != nil && (len(checks) != 0 || reason != "") {
+			t.Fatalf("parseIgnoreDirective(%q): error %v alongside payload %v %q", comment, err, checks, reason)
+		}
+		for _, c := range checks {
+			if !valid[c] {
+				t.Fatalf("parseIgnoreDirective(%q) accepted unknown check %q", comment, c)
+			}
+		}
+		if len(checks) > 0 && reason == "" {
+			t.Fatalf("parseIgnoreDirective(%q) accepted an empty reason", comment)
+		}
+		if !strings.Contains(comment, ignoreDirective) && (len(checks) != 0 || err != nil) {
+			t.Fatalf("parseIgnoreDirective(%q) reacted to text without the marker", comment)
+		}
+
+		path, wreason, werr := parseStorekeyDirective(comment)
+		if werr != nil && (path != "" || wreason != "") {
+			t.Fatalf("parseStorekeyDirective(%q): error %v alongside payload %q %q", comment, werr, path, wreason)
+		}
+		if path != "" {
+			if strings.Count(path, ".") != 2 {
+				t.Fatalf("parseStorekeyDirective(%q) accepted path %q without three segments", comment, path)
+			}
+			if wreason == "" {
+				t.Fatalf("parseStorekeyDirective(%q) accepted an empty reason", comment)
+			}
+		}
+		if !strings.Contains(comment, storekeyDirective) && (path != "" || werr != nil) {
+			t.Fatalf("parseStorekeyDirective(%q) reacted to text without the marker", comment)
+		}
+	})
+}

@@ -1,48 +1,115 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
 // ignoreDirective is the comment prefix that suppresses a finding.
 const ignoreDirective = "securelint:ignore"
 
+// storekeyDirective is the waiver prefix the keydrift check honours; it is
+// recognised here only so a comment starting with it is never mistaken for a
+// malformed ignore directive.
+const storekeyDirective = "storekey:exclude"
+
 // ignoreIndex records, per file and line, which checks are suppressed there.
 // A directive suppresses findings on its own line (trailing comment) and on
 // the line directly below it (directive placed above the statement).
 type ignoreIndex map[string]map[int][]string
 
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreIndex {
+// knownCheckNames returns the valid directive targets: every analyzer name
+// plus "all", sorted for stable error messages.
+func knownCheckNames() []string {
+	names := []string{"all"}
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseIgnoreDirective parses one comment's text. It returns (nil, "", nil)
+// when the comment is not an ignore directive at all, the named checks and
+// reason when well-formed, and an error when the directive is malformed — an
+// unknown check name or a missing reason. A malformed directive suppresses
+// nothing; surfacing it as a finding is what keeps a typo'd check name from
+// silently rotting in place.
+func parseIgnoreDirective(comment string) (checks []string, reason string, err error) {
+	text := comment
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, ignoreDirective) {
+		return nil, "", nil
+	}
+	rest := text[len(ignoreDirective):]
+	if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+		return nil, "", nil // securelint:ignoreXYZ is some other word, not this directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, "", fmt.Errorf("malformed //%s directive: missing check name and reason", ignoreDirective)
+	}
+	valid := map[string]bool{}
+	for _, n := range knownCheckNames() {
+		valid[n] = true
+	}
+	for _, check := range strings.Split(fields[0], ",") {
+		check = strings.TrimSpace(check)
+		if check == "" {
+			continue
+		}
+		if !valid[check] {
+			return nil, "", fmt.Errorf("//%s names unknown check %q (known: %s); the directive suppresses nothing",
+				ignoreDirective, check, strings.Join(knownCheckNames(), ", "))
+		}
+		checks = append(checks, check)
+	}
+	if len(checks) == 0 {
+		return nil, "", fmt.Errorf("malformed //%s directive: no check named", ignoreDirective)
+	}
+	reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+	if reason == "" {
+		return nil, "", fmt.Errorf("//%s %s has no reason; document why the finding is safe to suppress",
+			ignoreDirective, fields[0])
+	}
+	return checks, reason, nil
+}
+
+// collectIgnores indexes the well-formed suppression directives of the given
+// files and returns a diagnostic (check name "ignore") for every malformed
+// one. Malformed directives never suppress.
+func collectIgnores(fset *token.FileSet, files []*ast.File) (ignoreIndex, []Diagnostic) {
 	idx := ignoreIndex{}
+	var diags []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, ignoreDirective) {
+				checks, _, err := parseIgnoreDirective(c.Text)
+				pos := fset.Position(c.Pos())
+				if err != nil {
+					diags = append(diags, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check: "ignore", Message: err.Error(),
+					})
 					continue
 				}
-				fields := strings.Fields(strings.TrimPrefix(text, ignoreDirective))
-				if len(fields) == 0 {
-					continue // malformed: no check named
+				if len(checks) == 0 {
+					continue
 				}
-				pos := fset.Position(c.Pos())
 				byLine := idx[pos.Filename]
 				if byLine == nil {
 					byLine = map[int][]string{}
 					idx[pos.Filename] = byLine
 				}
-				for _, check := range strings.Split(fields[0], ",") {
-					if check = strings.TrimSpace(check); check != "" {
-						byLine[pos.Line] = append(byLine[pos.Line], check)
-					}
-				}
+				byLine[pos.Line] = append(byLine[pos.Line], checks...)
 			}
 		}
 	}
-	return idx
+	return idx, diags
 }
 
 // matches reports whether a finding of the named check at position p is

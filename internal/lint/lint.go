@@ -44,7 +44,9 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
 }
 
-// Analyzer is one registered check.
+// Analyzer is one registered check. Per-package checks set Run; module-wide
+// checks (which need the call graph and see every loaded package at once)
+// set RunModule instead.
 type Analyzer struct {
 	// Name is the check name used on the command line and in the
 	// //securelint:ignore directive.
@@ -53,6 +55,9 @@ type Analyzer struct {
 	Doc string
 	// Run reports findings on one type-checked package via pass.Reportf.
 	Run func(pass *Pass)
+	// RunModule reports findings over the whole loaded module via
+	// mp.Reportf. Module analyzers see non-test files only.
+	RunModule func(mp *ModulePass)
 }
 
 // Pass hands one type-checked package to one analyzer.
@@ -77,6 +82,35 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	return p.Info.TypeOf(e)
 }
 
+// ModulePass hands the full set of loaded packages, plus the call graph
+// built over them, to one module-wide analyzer.
+type ModulePass struct {
+	Fset *token.FileSet
+	// Pkgs are every loaded module package (roots plus transitive
+	// module-local imports), sorted by import path, non-test files only.
+	Pkgs []*Package
+	// Graph is the module-wide call graph over Pkgs.
+	Graph  *Graph
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records a finding at pos.
+func (mp *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	mp.report(pos, fmt.Sprintf(format, args...))
+}
+
+// PkgBySuffix returns the loaded package whose import path equals suffix or
+// ends in "/"+suffix, or nil. Fixture packages match by their directory
+// name.
+func (mp *ModulePass) PkgBySuffix(suffix string) *Package {
+	for _, pkg := range mp.Pkgs {
+		if pkg.Path == suffix || strings.HasSuffix(pkg.Path, "/"+suffix) {
+			return pkg
+		}
+	}
+	return nil
+}
+
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
@@ -86,6 +120,8 @@ func Analyzers() []*Analyzer {
 		AnalyzerLockGuard,
 		AnalyzerFloatEq,
 		AnalyzerCtxFirst,
+		AnalyzerKeyDrift,
+		AnalyzerPureDet,
 	}
 }
 
@@ -143,26 +179,23 @@ func Run(cfg Config) (*Result, error) {
 // RunCtx is the cancellable lint run: the context is polled between packages
 // (each package's load-and-analyze is the natural batch), so a Ctrl-C on a
 // module-wide run stops at the next package boundary and returns ctx.Err().
+// Per-package analyzers run over each matched package in turn; module
+// analyzers run once at the end over every loaded package plus the call
+// graph built over them.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	checks, err := ByName(cfg.Checks)
 	if err != nil {
 		return nil, err
 	}
-	dir := cfg.Dir
-	if dir == "" {
-		dir = "."
-	}
-	patterns := cfg.Patterns
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	ld, err := newLoader(dir)
+	ld, dirs, err := resolveLoad(cfg)
 	if err != nil {
 		return nil, err
 	}
-	dirs, err := expandPatterns(dir, patterns, cfg.IncludeTests)
-	if err != nil {
-		return nil, err
+	var modChecks []*Analyzer
+	for _, a := range checks {
+		if a.RunModule != nil {
+			modChecks = append(modChecks, a)
+		}
 	}
 	res := &Result{}
 	for _, d := range dirs {
@@ -178,15 +211,108 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		res.Diags = append(res.Diags, diags...)
 		res.Suppressed += suppressed
 	}
+	if len(modChecks) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		diags, suppressed, err := runModuleAnalyzers(ld, dirs, modChecks)
+		if err != nil {
+			return nil, err
+		}
+		res.Diags = append(res.Diags, diags...)
+		res.Suppressed += suppressed
+	}
 	sortDiags(res.Diags)
 	return res, nil
 }
 
-// RunAnalyzers runs the given checks over one loaded package, applying the
-// suppression directives found in its files.
-func RunAnalyzers(pkg *Package, checks []*Analyzer) (diags []Diagnostic, suppressed int) {
-	ignores := collectIgnores(pkg.Fset, pkg.Files)
+// resolveLoad applies the Config defaults and resolves the package patterns.
+func resolveLoad(cfg Config) (*loader, []string, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	patterns := cfg.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld, err := newLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	dirs, err := expandPatterns(dir, patterns, cfg.IncludeTests)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ld, dirs, nil
+}
+
+// runModuleAnalyzers builds the module set and call graph, then runs each
+// module check over them. Directive diagnostics are NOT re-collected here —
+// the per-package phase already reported them for every root.
+func runModuleAnalyzers(ld *loader, dirs []string, checks []*Analyzer) ([]Diagnostic, int, error) {
+	mpkgs, err := ld.modulePackages(dirs)
+	if err != nil {
+		return nil, 0, err
+	}
+	mp := &ModulePass{Fset: ld.fset, Pkgs: mpkgs, Graph: BuildGraph(mpkgs)}
+	var files []*ast.File
+	for _, pkg := range mpkgs {
+		files = append(files, pkg.Files...)
+	}
+	ignores, _ := collectIgnores(ld.fset, files)
+	var diags []Diagnostic
+	suppressed := 0
 	for _, a := range checks {
+		name := a.Name
+		mp.report = func(pos token.Pos, msg string) {
+			p := ld.fset.Position(pos)
+			if ignores.matches(name, p) {
+				suppressed++
+				return
+			}
+			diags = append(diags, Diagnostic{
+				File: p.Filename, Line: p.Line, Col: p.Column,
+				Check: name, Message: msg,
+			})
+		}
+		a.RunModule(mp)
+	}
+	return diags, suppressed, nil
+}
+
+// GraphCtx loads the packages matching cfg (plus their transitive
+// module-local imports) and returns the call graph over them — the
+// `securelint -graph` debug surface, also the entry point future
+// interprocedural checks can prototype against.
+func GraphCtx(ctx context.Context, cfg Config) (*Graph, error) {
+	ld, dirs, err := resolveLoad(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	mpkgs, err := ld.modulePackages(dirs)
+	if err != nil {
+		return nil, err
+	}
+	return BuildGraph(mpkgs), nil
+}
+
+// RunAnalyzers runs the given per-package checks over one loaded package,
+// applying the suppression directives found in its files. Malformed
+// //securelint:ignore directives (unknown check name, missing reason) are
+// reported as findings of the pseudo-check "ignore" — they suppress nothing,
+// so a typo cannot silently rot. Module-wide checks in the list are skipped;
+// RunCtx runs them separately over the whole module.
+func RunAnalyzers(pkg *Package, checks []*Analyzer) (diags []Diagnostic, suppressed int) {
+	ignores, dirDiags := collectIgnores(pkg.Fset, pkg.Files)
+	diags = append(diags, dirDiags...)
+	for _, a := range checks {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Fset:  pkg.Fset,
 			Files: pkg.Files,

@@ -171,6 +171,57 @@ func b(x, y int) int {
 	}
 }
 
+// TestIgnoreDirectiveValidation pins the directive parser's strictness: an
+// unknown check name or a missing reason is a finding of its own (check
+// "ignore") and suppresses nothing.
+func TestIgnoreDirectiveValidation(t *testing.T) {
+	dir := t.TempDir()
+	src := `package scratch
+
+func a(x, y int) int {
+	//securelint:ignore ceildvi typo'd check name suppresses nothing
+	return (x + y - 1) / y
+}
+
+func b(x, y int) int {
+	//securelint:ignore ceildiv
+	return (x + y - 1) / y
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Dir: dir, Checks: "ceildiv"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Suppressed != 0 {
+		t.Fatalf("suppressed = %d, want 0 (malformed directives must not suppress)", res.Suppressed)
+	}
+	var ignoreDiags, ceildivDiags int
+	for _, d := range res.Diags {
+		switch d.Check {
+		case "ignore":
+			ignoreDiags++
+		case "ceildiv":
+			ceildivDiags++
+		}
+	}
+	if ignoreDiags != 2 {
+		t.Fatalf("got %d directive findings, want 2 (unknown check, missing reason):\n%s",
+			ignoreDiags, diagsString(res.Diags))
+	}
+	if ceildivDiags != 2 {
+		t.Fatalf("got %d ceildiv findings, want 2 (nothing suppressed):\n%s",
+			ceildivDiags, diagsString(res.Diags))
+	}
+	for _, want := range []string{"unknown check \"ceildvi\"", "has no reason"} {
+		if !strings.Contains(diagsString(res.Diags), want) {
+			t.Errorf("diagnostics missing %q:\n%s", want, diagsString(res.Diags))
+		}
+	}
+}
+
 func diagsString(ds []Diagnostic) string {
 	var b strings.Builder
 	for _, d := range ds {

@@ -178,6 +178,37 @@ func (l *loader) load(dir, path string, includeTests bool) (*Package, error) {
 	return pkg, nil
 }
 
+// modulePackages returns every package the run loaded without test files —
+// the root directories plus all transitive module-local imports — sorted by
+// import path. This is the package set module-wide analyses (and the call
+// graph) operate on: non-test loads are memoised in l.pkgs, so types.Func
+// identity holds across all of them. Roots containing only test files are
+// skipped; they have no shipped code for a module analysis to see.
+func (l *loader) modulePackages(dirs []string) ([]*Package, error) {
+	for _, d := range dirs {
+		abs, err := filepath.Abs(d)
+		if err != nil {
+			return nil, err
+		}
+		names, err := goFileNames(abs, false)
+		if err != nil {
+			return nil, err
+		}
+		if len(names) == 0 {
+			continue
+		}
+		if _, err := l.load(abs, l.importPathFor(abs), false); err != nil {
+			return nil, err
+		}
+	}
+	pkgs := make([]*Package, 0, len(l.pkgs))
+	for _, pkg := range l.pkgs {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
 // goFileNames lists the .go files of dir, sorted, excluding _test.go files
 // unless includeTests.
 func goFileNames(dir string, includeTests bool) ([]string, error) {

@@ -31,10 +31,12 @@ func runMapDet(pass *Pass) {
 			stmts := stmtList(n)
 			for i, s := range stmts {
 				rng, ok := s.(*ast.RangeStmt)
-				if !ok || !isMapType(pass, rng.X) {
+				if !ok || !isMapType(pass.Info, rng.X) {
 					continue
 				}
-				checkMapRangeBody(pass, rng, stmts[i+1:])
+				for _, fd := range mapRangeFindings(pass.Info, rng, stmts[i+1:]) {
+					pass.Reportf(fd.pos, "%s", fd.msg)
+				}
 			}
 			return true
 		})
@@ -56,8 +58,8 @@ func stmtList(n ast.Node) []ast.Stmt {
 	return nil
 }
 
-func isMapType(pass *Pass, e ast.Expr) bool {
-	t := pass.TypeOf(e)
+func isMapType(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
 	if t == nil {
 		return false
 	}
@@ -65,13 +67,19 @@ func isMapType(pass *Pass, e ast.Expr) bool {
 	return ok
 }
 
-func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+// mapFinding is one order-sensitivity verdict on a map-range body.
+type mapFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// mapRangeFindings classifies the body of one for-range over a map and
+// returns the order-sensitive operations found. It needs only the type info,
+// not a Pass, so the interprocedural puredet check can run the same
+// classification on functions reached through the call graph.
+func mapRangeFindings(info *types.Info, rng *ast.RangeStmt, rest []ast.Stmt) []mapFinding {
 	body := rng.Body
-	type finding struct {
-		pos token.Pos
-		msg string
-	}
-	var findings []finding
+	var findings []mapFinding
 	appended := map[string]token.Pos{} // outer slices appended to, name -> first pos
 
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -83,7 +91,7 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
 				// x = append(x, ...) is the collect idiom; defer judgement
 				// until we know whether x is sorted afterwards.
 				if n.Tok == token.ASSIGN && len(n.Rhs) == len(n.Lhs) &&
-					isAppendTo(n.Rhs[i], lhsStr) && writesOutsideLoop(pass, lhs, body) {
+					isAppendTo(n.Rhs[i], lhsStr) && writesOutsideLoop(info, lhs, body) {
 					if _, ok := appended[lhsStr]; !ok {
 						appended[lhsStr] = n.Pos()
 					}
@@ -93,11 +101,11 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
 				case *ast.Ident:
 					// := declares loop-locals; op-assigns (+=, *=, |=, ...)
 					// are commutative folds: both allowed.
-					if l.Name == "_" || !declaredOutside(pass, l, body) {
+					if l.Name == "_" || !declaredOutside(info, l, body) {
 						continue
 					}
 					if n.Tok == token.ASSIGN {
-						findings = append(findings, finding{n.Pos(),
+						findings = append(findings, mapFinding{n.Pos(),
 							"assigns " + l.Name + " during map iteration; last-writer-wins depends on map order"})
 					}
 				case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
@@ -106,18 +114,18 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
 					// cannot leak. Slice writes stay flagged: distinct indices
 					// are not guaranteed and iteration order reaches memory.
 					if ix, ok := l.(*ast.IndexExpr); ok &&
-						isMapType(pass, ix.X) && usesRangeVar(pass, ix.Index, rng) {
+						isMapType(info, ix.X) && usesRangeVar(info, ix.Index, rng) {
 						continue
 					}
-					if writesOutsideLoop(pass, l, body) {
-						findings = append(findings, finding{n.Pos(),
+					if writesOutsideLoop(info, l, body) {
+						findings = append(findings, mapFinding{n.Pos(),
 							"writes " + lhsStr + " during map iteration; map order may leak into results"})
 					}
 				}
 			}
 		case *ast.CallExpr:
 			if name, bad := orderSensitiveCall(n); bad {
-				findings = append(findings, finding{n.Pos(),
+				findings = append(findings, mapFinding{n.Pos(),
 					"calls " + name + " during map iteration; output or top-k feed depends on map order"})
 			}
 		}
@@ -133,31 +141,28 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
 	sort.Strings(names)
 	for _, name := range names {
 		if !sortedAfter(rest, name) {
-			findings = append(findings, finding{appended[name],
+			findings = append(findings, mapFinding{appended[name],
 				"appends to " + name + " during map iteration without sorting it afterwards; " +
 					"iterate sorted keys or sort the slice before use"})
 		}
 	}
-
-	for _, f := range findings {
-		pass.Reportf(f.pos, "%s", f.msg)
-	}
+	return findings
 }
 
 // usesRangeVar reports whether e references the key or value variable of
 // the range statement.
-func usesRangeVar(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+func usesRangeVar(info *types.Info, e ast.Expr, rng *ast.RangeStmt) bool {
 	vars := map[types.Object]bool{}
 	for _, v := range []ast.Expr{rng.Key, rng.Value} {
 		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
-			if obj := pass.Info.ObjectOf(id); obj != nil {
+			if obj := info.ObjectOf(id); obj != nil {
 				vars[obj] = true
 			}
 		}
 	}
 	found := false
 	ast.Inspect(e, func(n ast.Node) bool {
-		if id, ok := n.(*ast.Ident); ok && vars[pass.Info.ObjectOf(id)] {
+		if id, ok := n.(*ast.Ident); ok && vars[info.ObjectOf(id)] {
 			found = true
 		}
 		return !found
@@ -167,8 +172,8 @@ func usesRangeVar(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
 
 // declaredOutside reports whether ident resolves to an object declared
 // outside the loop body (package-level or in an enclosing scope).
-func declaredOutside(pass *Pass, id *ast.Ident, body *ast.BlockStmt) bool {
-	obj := pass.Info.ObjectOf(id)
+func declaredOutside(info *types.Info, id *ast.Ident, body *ast.BlockStmt) bool {
+	obj := info.ObjectOf(id)
 	if obj == nil {
 		return false
 	}
@@ -177,11 +182,11 @@ func declaredOutside(pass *Pass, id *ast.Ident, body *ast.BlockStmt) bool {
 
 // writesOutsideLoop reports whether the written lvalue is rooted at a
 // variable declared outside the loop body.
-func writesOutsideLoop(pass *Pass, e ast.Expr, body *ast.BlockStmt) bool {
+func writesOutsideLoop(info *types.Info, e ast.Expr, body *ast.BlockStmt) bool {
 	for {
 		switch x := unparen(e).(type) {
 		case *ast.Ident:
-			return declaredOutside(pass, x, body)
+			return declaredOutside(info, x, body)
 		case *ast.IndexExpr:
 			e = x.X
 		case *ast.SelectorExpr:

@@ -1,0 +1,88 @@
+// Package keydrift is the golden fixture for the keydrift check: persist*
+// functions returning store.Key whose request-type fields are variously
+// encoded, missed, waived, and suppressed. The `// want` comments are
+// bidirectional expectations for the golden test.
+package keydrift
+
+import "secureloop/internal/store"
+
+// request is a fully-covered persisted request type.
+type request struct {
+	a      int
+	b      int
+	mode   string
+	nested sub
+	label  string // waived below: a display label, not part of the identity
+}
+
+// sub is a nested request struct reached through request.nested.
+type sub struct {
+	x int
+	y float64
+}
+
+// storekey:exclude keydrift.request.label display label; results do not depend on it
+
+// persistGoodKey encodes every non-waived field, the nested struct through a
+// helper in the encode cluster: complete coverage, no findings.
+func persistGoodKey(r request) store.Key {
+	e := store.NewEnc().String("fixture.good")
+	e.Int(int64(r.a)).Int(int64(r.b)).String(r.mode)
+	encodeSub(e, r.nested)
+	return e.Key()
+}
+
+// encodeSub takes a *store.Enc, so the fields it reads count as covered for
+// any persist function that reaches it.
+func encodeSub(e *store.Enc, s sub) {
+	e.Int(int64(s.x)).Float(s.y)
+}
+
+// partial drops one scalar and one whole nested struct from its key.
+type partial struct {
+	a      int
+	b      int
+	nested sub
+}
+
+func persistPartialKey(p partial) store.Key { // want "persistPartialKey does not encode keydrift.partial.b" "persistPartialKey does not encode keydrift.partial.nested"
+	e := store.NewEnc().String("fixture.partial")
+	e.Int(int64(p.a))
+	return e.Key()
+}
+
+// deep covers its nested field itself but misses a field inside it: the
+// finding names the inner type, and only the missed leaf is reported.
+type deep struct {
+	head  int
+	inner leaf
+}
+
+type leaf struct {
+	v    int
+	skew float64
+}
+
+func persistDeepKey(d deep) store.Key { // want "persistDeepKey does not encode keydrift.leaf.skew"
+	e := store.NewEnc().String("fixture.deep")
+	e.Int(int64(d.head)).Int(int64(d.inner.v))
+	return e.Key()
+}
+
+// scratch is the suppression case: the finding on the declaration line is
+// silenced by the directive above it.
+type scratch struct {
+	q int
+}
+
+//securelint:ignore keydrift fixture: suppression case for the golden test
+func persistScratchKey(s scratch) store.Key {
+	return store.NewEnc().String("fixture.scratch").Key()
+}
+
+// A waiver naming a field that exists nowhere is itself a finding — typos
+// must not silently waive nothing.
+// storekey:exclude keydrift.request.nosuch typo in the field name // want "keydrift.request.nosuch, which is not a field of any persisted request type"
+
+// A waiver whose path is not pkg.Type.Field is malformed.
+// storekey:exclude request.label missing the package segment // want "must have the form pkg.Type.Field"

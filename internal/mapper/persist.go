@@ -19,6 +19,8 @@ import (
 // persistPrefix namespaces mapper records within the shared store.
 const persistPrefix = "mapper.search"
 
+// storekey:exclude workload.Layer.Name results are shape-keyed; the layer name is a label
+
 // persistSearchKey canonically encodes the cached-search identity.
 func persistSearchKey(k cacheKey) store.Key {
 	e := store.NewEnc().String(persistPrefix)

@@ -4,14 +4,25 @@
 # the perf work depends on — centralised ceiling division, int64-safe
 # dimension/tile products, no order-sensitive map iteration, the
 # `guarded by <mu>` lock annotations, no exact float equality in
-# cost/energy code, and context-first signatures on exported search-path
-# functions; see DESIGN.md ("Enforced invariants").
+# cost/energy code, context-first signatures on exported search-path
+# functions, and the two interprocedural checks (keydrift: persisted cache
+# keys encode every request field; puredet: cached paths are deterministic);
+# see DESIGN.md ("Enforced invariants").
+#
+# A gofmt gate runs first: unformatted files fail before the analysis does.
 #
 # Usage: scripts/lint.sh [securelint flags] [packages]
-#   scripts/lint.sh                 # lint ./...
+#   scripts/lint.sh                 # gofmt gate + lint ./...
 #   scripts/lint.sh -json ./...     # machine-readable findings
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l . 2>/dev/null)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: the following files are not gofmt-formatted:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 if [ "$#" -eq 0 ]; then
 	set -- ./...
