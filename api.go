@@ -26,17 +26,23 @@
 //
 // The result carries per-layer loopnest schedules, AuthBlock assignments,
 // latency/energy statistics and the authentication-traffic breakdown.
-// Deeper functionality (the AuthBlock search, the roofline model, the
-// design-space sweeps, the functional AES-GCM data path) lives in the
-// internal packages and is exercised by the cmd/ binaries and examples/.
+// Design-space sweeps are exported too: Sweep evaluates a (spec, crypto)
+// cross product, and SweepFront runs the dominance-pruned coordinator that
+// returns the same Pareto front while skipping points a cheap lower bound
+// proves cannot reach it. Deeper functionality (the AuthBlock search, the
+// roofline model, the functional AES-GCM data path) lives in the internal
+// packages and is exercised by the cmd/ binaries and examples/.
 package secureloop
 
 import (
 	"io"
 
+	"context"
+
 	"secureloop/internal/arch"
 	"secureloop/internal/core"
 	"secureloop/internal/cryptoengine"
+	"secureloop/internal/dse"
 	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
 	"secureloop/internal/store"
@@ -148,6 +154,57 @@ type StoreStats = store.Stats
 func OpenResultStore(dir string, opt StoreOptions) (*ResultStore, error) {
 	return store.Open(dir, opt)
 }
+
+// DesignPoint is one evaluated secure-accelerator design from a
+// design-space sweep: the (architecture, crypto) pair with its area,
+// latency, energy, unsecure baseline and Pareto-front membership.
+type DesignPoint = dse.DesignPoint
+
+// SweepOptions tunes a design-space sweep: annealing iterations, mapper
+// mode, worker-pool width, persistent store, and the coordinator knobs
+// (Shards, Prune, BoundSlack, ShardTimeout, Executor).
+type SweepOptions = dse.Options
+
+// SweepExecutor dispatches one shard of a coordinator sweep's design-point
+// evaluations; implement it to run shards somewhere other than the
+// in-process pool.
+type SweepExecutor = dse.Executor
+
+// SweepFrontResult is a coordinator sweep's outcome: the Pareto front and
+// the run's pruning/dispatch accounting.
+type SweepFrontResult = dse.SweepFrontResult
+
+// SweepStats is the coordinator sweep's work accounting: points bounded,
+// pruned, deferred, re-evaluated, fully evaluated, store-answered,
+// re-dispatched.
+type SweepStats = dse.FrontStats
+
+// Sweep evaluates the cross product of architectures and crypto configs on
+// one workload, returning every design point in deterministic specs-major
+// order (MarkParetoFront marks the front in place).
+func Sweep(net *Network, specs []ArchSpec, cryptos []CryptoConfig, alg Algorithm, opt SweepOptions) ([]DesignPoint, error) {
+	return dse.SweepOpts(net, specs, cryptos, alg, opt)
+}
+
+// SweepFront runs the dominance-pruned coordinator sweep: a cheap bound
+// pre-pass, canonical best-bound-first shards, and a streaming Pareto
+// front let it skip design points that cannot reach the front. The
+// returned front is byte-identical to ParetoFront over an unpruned Sweep:
+//
+//	res, err := secureloop.SweepFront(ctx, net, specs, cryptos,
+//	    secureloop.CryptOptCross, secureloop.SweepOptions{Prune: true, Shards: 4})
+func SweepFront(ctx context.Context, net *Network, specs []ArchSpec, cryptos []CryptoConfig, alg Algorithm, opt SweepOptions) (SweepFrontResult, error) {
+	return dse.SweepFrontCtx(ctx, net, specs, cryptos, alg, opt)
+}
+
+// MarkParetoFront sets each point's Pareto field: true iff no other point
+// has both smaller-or-equal area and smaller-or-equal latency with at
+// least one strict. The marking is a pure function of the multiset of
+// points, independent of their order.
+func MarkParetoFront(points []DesignPoint) { dse.MarkPareto(points) }
+
+// ParetoFront returns the Pareto-optimal points sorted by ascending area.
+func ParetoFront(points []DesignPoint) []DesignPoint { return dse.ParetoFront(points) }
 
 // Network is a DNN workload with its segment structure.
 type Network = workload.Network

@@ -16,7 +16,8 @@
 // of recomputing them. -progress streams per-stage scheduling progress to
 // stderr. -cachestats reports every memoisation tier's hit ratio and
 // counters (mapper search cache, tile-candidate cache, warm-start store,
-// guided-search work, AuthBlock memos, persistent store) after the run.
+// guided-search work, AuthBlock memos, sweep-coordinator pruning,
+// persistent store) after the run.
 //
 // Ctrl-C cancels the run: in-flight schedules stop at their next stage
 // boundary and the error names the stage that was interrupted.
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"secureloop/internal/authblock"
+	"secureloop/internal/dse"
 	"secureloop/internal/experiments"
 	"secureloop/internal/mapper"
 	"secureloop/internal/obs"
@@ -203,6 +205,9 @@ func printCacheStats(st *store.Store) {
 		ratio(dc.Hits, dc.Misses), dc.Hits, dc.Misses, dc.Evictions, dc.Entries)
 	fmt.Printf("authblock sizes:      %s hit ratio (%d hits, %d misses), %d evictions, %d entries\n",
 		ratio(sc.Hits, sc.Misses), sc.Hits, sc.Misses, sc.Evictions, sc.Entries)
+	ps := dse.PruneStats()
+	fmt.Printf("sweep prune:          %d points bounded, %d pruned, %d deferred, %d re-evaluated in the exact pass, %d full evals (%d store-answered)\n",
+		ps.Bounded, ps.Pruned, ps.Deferred, ps.Reevaluated, ps.FullEvals, ps.StoreHits)
 	if st != nil {
 		ss := st.Stats()
 		fmt.Printf("persistent store:     %s hit ratio (%d hits, %d misses), %d puts, %d corrupt, %d evicted segments, %d entries, %d bytes\n",

@@ -72,6 +72,19 @@ func (s *Scheduler) persistNetworkKey(net *workload.Network, alg Algorithm) stor
 	return e.Key()
 }
 
+// StoredNetwork reports whether the persistent store already holds a
+// network-tier record for this exact request — the record
+// ScheduleNetworkCtx would replay instead of searching. A peek only (no
+// value read, no hit/miss counted): false when no store is attached, and a
+// true can still fall back to a full search if the record fails
+// verification at replay time.
+func (s *Scheduler) StoredNetwork(net *workload.Network, alg Algorithm) bool {
+	if s.Store == nil {
+		return false
+	}
+	return s.Store.Has(s.persistNetworkKey(net, alg))
+}
+
 func encStats(e *store.Enc, st model.Stats) {
 	e.Int(st.Cycles).Int(st.ComputeCycles).Int(st.DRAMCycles).Int(st.CryptoCycles).
 		Float(st.EnergyPJ).Float(st.DRAMEnergyPJ).Float(st.CryptoEnergyPJ).Float(st.OnChipEnergyPJ).

@@ -1,0 +1,543 @@
+// The sweep coordinator: dominance-pruned, sharded cold sweeps. A cheap
+// pre-pass (bounds.go) gives every design point an exact area and a sound
+// cycle lower bound; the coordinator partitions the points into canonical
+// shards, orders work best-bound-first, and dispatches shards to an
+// Executor (executor.go) while maintaining a streaming Pareto front
+// (pareto.go) under a mutex. Before a worker pays for the full
+// mapper+authblock+anneal pipeline, it re-checks the point's
+// (area, cycle-LB) against the live front and skips points whose bound is
+// already strictly dominated — sound because a lower bound below the true
+// cycles can only under-prune, never drop a front member. Points whose
+// bound is dominated only by a tie (or sits within Options.BoundSlack of
+// the front) are deferred and resolved in a final exact pass against the
+// finished front, so the returned front is byte-identical to the unpruned
+// sweep's (TestCoordinatorFrontMatchesUnpruned pins this, the same way
+// parallel-vs-serial is pinned).
+
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/num"
+	"secureloop/internal/obs"
+	"secureloop/internal/workload"
+)
+
+// Per-job lifecycle states. A job is terminal once evaluated or pruned;
+// deferred jobs are resolved (to one or the other) by the exact pass.
+const (
+	statePending uint32 = iota
+	stateEvaluated
+	statePruned
+	stateDeferred
+)
+
+// defaultShardAttempts bounds straggler re-dispatches per shard; the final
+// attempt runs without a shard deadline so the sweep always completes.
+const defaultShardAttempts = 3
+
+// FrontStats is one SweepFrontCtx run's work accounting.
+type FrontStats struct {
+	// Points is the design-point count of the sweep.
+	Points int
+	// Shards is how many canonical shards the points were partitioned into.
+	Shards int
+	// Bounded counts points given a pre-pass cycle lower bound (all of them
+	// when pruning is on, 0 otherwise).
+	Bounded int
+	// Pruned counts points skipped by dominance without a full evaluation
+	// (exact-pass prunes of deferred points included).
+	Pruned int
+	// Deferred counts points whose bound tied the front (or fell within
+	// BoundSlack) and were resolved in the exact pass.
+	Deferred int
+	// Reevaluated counts deferred points that survived the exact pass and
+	// were fully evaluated there.
+	Reevaluated int
+	// FullEvals counts full scheduler evaluations (Reevaluated included).
+	FullEvals int
+	// StoreHits counts evaluations the persistent store's network tier
+	// answered (cheap replays, reported as "store-hit" skip events).
+	StoreHits int
+	// Redispatches counts straggler shard re-dispatches after a shard
+	// deadline expired.
+	Redispatches int
+}
+
+// SweepFrontResult is a dominance-pruned sweep's outcome: the Pareto front
+// (ascending area, Pareto marked, byte-identical to ParetoFront over the
+// unpruned sweep) and the run's work accounting.
+type SweepFrontResult struct {
+	Front []DesignPoint
+	Stats FrontStats
+}
+
+// SweepFront is SweepFrontCtx with a background context.
+func SweepFront(net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm, opt Options) (SweepFrontResult, error) {
+	return SweepFrontCtx(context.Background(), net, specs, cryptos, alg, opt)
+}
+
+// SweepFrontCtx runs the coordinator sweep: bound pre-pass, canonical
+// best-bound-first shards, dominance pruning against the streaming front,
+// straggler re-dispatch, and the final exact pass. With Options.Prune off
+// it evaluates every point (still through the Executor seam) and returns
+// the same front. Cancellation stops shard dispatch and in-flight points at
+// their stage boundaries; the error is ctx.Err() wrapped with the sweep
+// stage.
+func SweepFrontCtx(ctx context.Context, net *workload.Network, specs []arch.Spec, cryptos []cryptoengine.Config, alg core.Algorithm, opt Options) (res SweepFrontResult, err error) {
+	defer obs.CapturePanic(&err)
+	jobs := num.MulInt(len(specs), len(cryptos))
+	if jobs == 0 {
+		return SweepFrontResult{}, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return SweepFrontResult{}, fmt.Errorf("dse: %s: %w", obs.StageSweep, cerr)
+	}
+	c := &coordinator{
+		net: net, specs: specs, cryptos: cryptos, alg: alg, opt: opt,
+		ob:      obs.OrNop(opt.Observe),
+		jobs:    make([]PointJob, jobs),
+		state:   make([]atomic.Uint32, jobs),
+		results: make([]DesignPoint, jobs),
+		bases:   make([]specBaseline, len(specs)),
+	}
+	c.ob.StageStart(obs.StageEvent{Stage: obs.StageSweep, Units: jobs})
+	c.computeBounds()
+	if err := c.run(ctx); err != nil {
+		return SweepFrontResult{}, err
+	}
+	front := ParetoFront(c.evaluatedPoints())
+	c.ob.StageEnd(obs.StageEvent{Stage: obs.StageSweep, Units: jobs})
+	return SweepFrontResult{Front: front, Stats: c.frontStats()}, nil
+}
+
+// specBaseline memoises one spec's unsecure baseline. Unlike a sync.Once, a
+// context error is not latched: a baseline interrupted by a shard deadline
+// is recomputed by the re-dispatched attempt.
+type specBaseline struct {
+	mu     sync.Mutex
+	done   bool  // guarded by mu
+	cycles int64 // guarded by mu
+}
+
+// coordinator carries one SweepFrontCtx run's state.
+type coordinator struct {
+	net     *workload.Network
+	specs   []arch.Spec
+	cryptos []cryptoengine.Config
+	alg     core.Algorithm
+	opt     Options
+	ob      obs.Observer
+
+	jobs    []PointJob      // canonical specs-major order, bounds filled
+	state   []atomic.Uint32 // per-job lifecycle, indexed like jobs
+	results []DesignPoint   // evaluated points only, indexed like jobs
+	bases   []specBaseline  // per-spec unsecure baselines
+	front   frontTracker
+	done    atomic.Int64 // terminal dispositions, for monotone progress
+
+	shardCount   int
+	pruned       atomic.Int64
+	deferred     atomic.Int64
+	reevaluated  atomic.Int64
+	fullEvals    atomic.Int64
+	storeHits    atomic.Int64
+	redispatches atomic.Int64
+}
+
+// computeBounds is the pre-pass: exact area always; the cycle lower bound
+// only when pruning is on (it is the only part that costs anything). The
+// bound depends on the crypto config only through the effective bandwidth,
+// so it is memoised per (spec, effBW) — a sweep's crypto axis mostly
+// collapses onto a few distinct bandwidths.
+func (c *coordinator) computeBounds() {
+	type effKey struct {
+		si int
+		bw float64
+	}
+	var memo map[effKey]int64
+	if c.opt.Prune {
+		memo = make(map[effKey]int64)
+		sweepBounded.Add(int64(len(c.jobs)))
+	}
+	for si := range c.specs {
+		for ci := range c.cryptos {
+			idx := num.MulInt(si, len(c.cryptos)) + ci
+			b := PointBound{AreaMM2: pointArea(c.specs[si], c.cryptos[ci])}
+			if c.opt.Prune {
+				key := effKey{si: si, bw: effectiveBW(c.specs[si], c.cryptos[ci], c.alg)}
+				lb, ok := memo[key]
+				if !ok {
+					lb = networkCycleLB(c.net, c.specs[si], c.cryptos[ci], c.alg)
+					memo[key] = lb
+				}
+				b.CycleLB = lb
+			}
+			c.jobs[idx] = PointJob{Index: idx, SpecIdx: si, CryptoIdx: ci, Bound: b}
+		}
+	}
+}
+
+// makeShards partitions the jobs into canonical best-bound-first shards:
+// jobs sorted by (CycleLB, AreaMM2, Index) are dealt round-robin, so every
+// shard leads with its most promising points and shard membership is a pure
+// function of the bounds — identical across serial, parallel and
+// distributed execution.
+func (c *coordinator) makeShards() []Shard {
+	order := make([]int, len(c.jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := c.jobs[order[a]], c.jobs[order[b]]
+		if ja.Bound.CycleLB != jb.Bound.CycleLB {
+			return ja.Bound.CycleLB < jb.Bound.CycleLB
+		}
+		//securelint:ignore floateq lexicographic sort key over stored area values; ties fall through to the index comparison, so the order is total and deterministic
+		if ja.Bound.AreaMM2 != jb.Bound.AreaMM2 {
+			return ja.Bound.AreaMM2 < jb.Bound.AreaMM2
+		}
+		return ja.Index < jb.Index
+	})
+	n := c.opt.Shards
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(c.jobs) {
+		n = len(c.jobs)
+	}
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i].ID = i
+	}
+	for k, idx := range order {
+		s := &shards[k%n]
+		s.Jobs = append(s.Jobs, c.jobs[idx])
+	}
+	return shards
+}
+
+// run dispatches every shard concurrently (total worker parallelism stays
+// bounded by the Executor), then resolves deferred points in the exact
+// pass.
+func (c *coordinator) run(ctx context.Context) error {
+	exec := c.opt.Executor
+	if exec == nil {
+		exec = &LocalExecutor{Workers: c.opt.MaxParallel}
+	}
+	shards := c.makeShards()
+	c.shardCount = len(shards)
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = obs.Guard(func() error { return c.runShard(ctx, exec, shards[i]) })
+		}(i)
+	}
+	wg.Wait()
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("dse: %s: %w", obs.StageSweep, cerr)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return c.exactPass(ctx)
+}
+
+// runShard drives one shard to completion: dispatch the still-pending jobs,
+// and on a shard-deadline expiry (a straggler) re-dispatch whatever is left.
+// All attempts but the last run under Options.ShardTimeout; the last runs
+// without a shard deadline so the sweep always completes.
+func (c *coordinator) runShard(ctx context.Context, exec Executor, sh Shard) error {
+	attempts := c.opt.MaxShardAttempts
+	if attempts <= 0 {
+		attempts = defaultShardAttempts
+	}
+	for attempt := 1; ; attempt++ {
+		pending := c.pendingJobs(sh)
+		if len(pending) == 0 {
+			return nil
+		}
+		if attempt > 1 {
+			c.redispatches.Add(1)
+		}
+		runCtx, cancel := ctx, func() {}
+		if c.opt.ShardTimeout > 0 && attempt < attempts {
+			runCtx, cancel = context.WithTimeout(ctx, c.opt.ShardTimeout)
+		}
+		err := exec.ExecuteShard(runCtx, Shard{ID: sh.ID, Jobs: pending}, c.evalJob)
+		cancel()
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dse: %s: %w", obs.StageSweep, cerr)
+		}
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err // a real evaluation failure, already point-wrapped
+		}
+		if err == nil && len(c.pendingJobs(sh)) == len(pending) {
+			// A completed dispatch that resolved nothing would loop forever;
+			// the Executor contract forbids it, so fail loudly.
+			return fmt.Errorf("dse: shard %d: executor completed without resolving any job", sh.ID)
+		}
+		if err != nil && attempt >= attempts {
+			// Unreachable with the stock executors (the last attempt has no
+			// shard deadline), but a custom Executor may surface deadline
+			// errors of its own; bail rather than spin.
+			return fmt.Errorf("dse: shard %d: %w", sh.ID, err)
+		}
+	}
+}
+
+// pendingJobs returns the shard's not-yet-resolved jobs, preserving the
+// shard's best-bound-first order.
+func (c *coordinator) pendingJobs(sh Shard) []PointJob {
+	var out []PointJob
+	for _, job := range sh.Jobs {
+		if c.state[job.Index].Load() == statePending {
+			out = append(out, job)
+		}
+	}
+	return out
+}
+
+// evalJob is the Executor callback: re-check the point's bound against the
+// live front, then prune, defer, or fully evaluate.
+func (c *coordinator) evalJob(ctx context.Context, job PointJob) error {
+	st := &c.state[job.Index]
+	if st.Load() != statePending {
+		return nil // resolved by an earlier attempt
+	}
+	if c.opt.Prune {
+		switch c.front.check(job.Bound.AreaMM2, job.Bound.CycleLB, c.opt.BoundSlack) {
+		case boundPrune:
+			if st.CompareAndSwap(statePending, statePruned) {
+				c.pruned.Add(1)
+				sweepPruned.Add(1)
+				c.emitSkip(job, obs.SweepPruned, true)
+			}
+			return nil
+		case boundDefer:
+			if st.CompareAndSwap(statePending, stateDeferred) {
+				c.deferred.Add(1)
+				sweepDeferred.Add(1)
+				c.emitSkip(job, obs.SweepDeferred, false)
+			}
+			return nil
+		}
+	}
+	return c.evaluateJob(ctx, job, statePending)
+}
+
+// evaluateJob runs the full scheduler pipeline for one point and folds the
+// exact result into the streaming front. from is the lifecycle state the
+// job resolves out of (pending on the sweep path, deferred on the exact
+// pass).
+func (c *coordinator) evaluateJob(ctx context.Context, job PointJob, from uint32) error {
+	si, ci := job.SpecIdx, job.CryptoIdx
+	base, err := c.baseline(ctx, si, ci)
+	if err != nil {
+		return c.pointErr(job, err)
+	}
+	storeHit := false
+	if c.opt.Store != nil {
+		storeHit = newScheduler(c.specs[si], c.cryptos[ci], c.opt).StoredNetwork(c.net, c.alg)
+	}
+	dp, err := evaluateWithBaseline(ctx, c.net, c.specs[si], c.cryptos[ci], c.alg, base, c.opt)
+	if err != nil {
+		return c.pointErr(job, err)
+	}
+	// Shards partition the jobs and attempts within a shard are sequential,
+	// so no job is ever evaluated concurrently with itself; the CAS guards
+	// the counters against a contract-violating double dispatch.
+	c.results[job.Index] = dp
+	if !c.state[job.Index].CompareAndSwap(from, stateEvaluated) {
+		return nil
+	}
+	c.front.add(dp.AreaMM2, dp.Cycles)
+	c.fullEvals.Add(1)
+	sweepFullEvals.Add(1)
+	if storeHit {
+		c.storeHits.Add(1)
+		sweepStoreSkips.Add(1)
+		c.ob.SweepPoint(obs.SweepPointEvent{
+			Index: job.Index, Label: dp.Label(), Outcome: obs.SweepStoreHit,
+			Done: int(c.done.Add(1)), Total: len(c.jobs),
+		})
+		return nil
+	}
+	c.ob.LayerScheduled(obs.LayerEvent{
+		Stage: obs.StageSweep,
+		Index: job.Index, Name: dp.Label(),
+		Done: int(c.done.Add(1)), Total: len(c.jobs),
+	})
+	return nil
+}
+
+// baseline memoises the unsecure schedule per spec (not per point). Errors
+// are returned but never latched, so a deadline-interrupted baseline does
+// not poison later attempts.
+func (c *coordinator) baseline(ctx context.Context, si, ci int) (int64, error) {
+	b := &c.bases[si]
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done {
+		return b.cycles, nil
+	}
+	cycles, err := unsecureCycles(ctx, c.net, c.specs[si], c.cryptos[ci], c.opt)
+	if err != nil {
+		return 0, err
+	}
+	b.cycles, b.done = cycles, true
+	return cycles, nil
+}
+
+// exactPass resolves deferred points against the finished front, in
+// canonical index order: strictly dominated bounds are pruned for good,
+// everything else is evaluated exactly — so a bound tie can never cost a
+// front member, only a re-evaluation.
+func (c *coordinator) exactPass(ctx context.Context) error {
+	for idx := range c.jobs {
+		if c.state[idx].Load() != stateDeferred {
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dse: %s: %w", obs.StageSweep, cerr)
+		}
+		job := c.jobs[idx]
+		if c.front.check(job.Bound.AreaMM2, job.Bound.CycleLB, 0) == boundPrune {
+			c.state[idx].Store(statePruned)
+			c.pruned.Add(1)
+			sweepPruned.Add(1)
+			c.emitSkip(job, obs.SweepPruned, true)
+			continue
+		}
+		c.reevaluated.Add(1)
+		sweepReevaluated.Add(1)
+		if err := c.evaluateJob(ctx, job, stateDeferred); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evaluatedPoints collects the evaluated design points in canonical order —
+// the input ParetoFront sorts, so tie order matches the unpruned sweep's.
+func (c *coordinator) evaluatedPoints() []DesignPoint {
+	var out []DesignPoint
+	for idx := range c.jobs {
+		if c.state[idx].Load() == stateEvaluated {
+			out = append(out, c.results[idx])
+		}
+	}
+	return out
+}
+
+// emitSkip reports a point disposed of without a full evaluation. Terminal
+// dispositions (prunes) advance the Done counter; deferrals do not — they
+// advance it when the exact pass resolves them — so progress stays monotone
+// and ends at Total.
+func (c *coordinator) emitSkip(job PointJob, outcome obs.SweepOutcome, terminal bool) {
+	done := int(c.done.Load())
+	if terminal {
+		done = int(c.done.Add(1))
+	}
+	c.ob.SweepPoint(obs.SweepPointEvent{
+		Index: job.Index, Label: c.label(job), Outcome: outcome,
+		Done: done, Total: len(c.jobs),
+	})
+}
+
+// label names a point without evaluating it (prune/defer events).
+func (c *coordinator) label(job PointJob) string {
+	return DesignPoint{Spec: c.specs[job.SpecIdx], Crypto: c.cryptos[job.CryptoIdx]}.Label()
+}
+
+// pointErr wraps an evaluation failure with the point's identity, matching
+// SweepOptsCtx's error shape.
+func (c *coordinator) pointErr(job PointJob, err error) error {
+	return fmt.Errorf("dse: %s %s: %w", c.specs[job.SpecIdx].Name, c.cryptos[job.CryptoIdx], err)
+}
+
+// frontStats snapshots the run's counters.
+func (c *coordinator) frontStats() FrontStats {
+	bounded := 0
+	if c.opt.Prune {
+		bounded = len(c.jobs)
+	}
+	return FrontStats{
+		Points:       len(c.jobs),
+		Shards:       c.shardCount,
+		Bounded:      bounded,
+		Pruned:       int(c.pruned.Load()),
+		Deferred:     int(c.deferred.Load()),
+		Reevaluated:  int(c.reevaluated.Load()),
+		FullEvals:    int(c.fullEvals.Load()),
+		StoreHits:    int(c.storeHits.Load()),
+		Redispatches: int(c.redispatches.Load()),
+	}
+}
+
+// Process-wide pruning counters (PruneStats): how much work the dominance
+// pre-pass disposed of across every sweep in the process, reported by
+// `experiments -cachestats` next to the cache tiers' hit ratios.
+var (
+	sweepBounded     atomic.Int64
+	sweepPruned      atomic.Int64
+	sweepDeferred    atomic.Int64
+	sweepReevaluated atomic.Int64
+	sweepFullEvals   atomic.Int64
+	sweepStoreSkips  atomic.Int64
+)
+
+// SweepPruneStats aggregates the coordinator's pruning work across the
+// process.
+type SweepPruneStats struct {
+	// Bounded counts design points given a pre-pass cycle lower bound.
+	Bounded int64
+	// Pruned counts points skipped by dominance without a full evaluation.
+	Pruned int64
+	// Deferred counts points sent to the exact pass by a bound tie or the
+	// slack band.
+	Deferred int64
+	// Reevaluated counts deferred points fully evaluated in the exact pass.
+	Reevaluated int64
+	// FullEvals counts full scheduler evaluations run by coordinator sweeps.
+	FullEvals int64
+	// StoreHits counts evaluations answered by the persistent store's
+	// network tier.
+	StoreHits int64
+}
+
+// PruneStats snapshots the coordinator's pruning counters.
+func PruneStats() SweepPruneStats {
+	return SweepPruneStats{
+		Bounded:     sweepBounded.Load(),
+		Pruned:      sweepPruned.Load(),
+		Deferred:    sweepDeferred.Load(),
+		Reevaluated: sweepReevaluated.Load(),
+		FullEvals:   sweepFullEvals.Load(),
+		StoreHits:   sweepStoreSkips.Load(),
+	}
+}
+
+// ResetPruneStats zeroes the pruning counters.
+func ResetPruneStats() {
+	sweepBounded.Store(0)
+	sweepPruned.Store(0)
+	sweepDeferred.Store(0)
+	sweepReevaluated.Store(0)
+	sweepFullEvals.Store(0)
+	sweepStoreSkips.Store(0)
+}

@@ -1,0 +1,362 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapper"
+	"secureloop/internal/obs"
+	"secureloop/internal/workload"
+)
+
+// pruneSweepSpace is a space the dominance pruner has traction on: the area
+// axis spreads widely (PE and GLB sizes) while the serial x1 crypto config
+// is so bandwidth-starved that big-area serial points are provably worse
+// than already-evaluated small fast ones.
+func pruneSweepSpace() ([]arch.Spec, []cryptoengine.Config) {
+	base := arch.Base()
+	specs := []arch.Spec{
+		base.WithGlobalBuffer(16 * 1024),
+		base.WithGlobalBuffer(131 * 1024),
+		base.WithPEs(28, 24).WithGlobalBuffer(131 * 1024),
+	}
+	cryptos := []cryptoengine.Config{
+		{Engine: cryptoengine.Parallel(), CountPerDatatype: 1},
+		{Engine: cryptoengine.Serial(), CountPerDatatype: 1},
+	}
+	return specs, cryptos
+}
+
+// coordOpts are fast, deterministic sweep options shared by the
+// coordinator tests.
+func coordOpts() Options {
+	return Options{
+		AnnealIterations: 20,
+		Mapper:           mapper.Options{Mode: mapper.Guided},
+	}
+}
+
+// TestCoordinatorFrontMatchesUnpruned is the tentpole acceptance test: the
+// pruned, sharded coordinator sweep must return a Pareto front
+// byte-identical to ParetoFront over the full unpruned sweep — and on the
+// prune-friendly space it must actually skip work.
+func TestCoordinatorFrontMatchesUnpruned(t *testing.T) {
+	cases := []struct {
+		name      string
+		net       *workload.Network
+		wantPrune bool
+	}{
+		{"alexnet", workload.AlexNet(), true},
+		{"resnet18", workload.ResNet18(), false}, // pruning is workload-dependent; identity must hold regardless
+	}
+	specs, cryptos := pruneSweepSpace()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			all, err := SweepOptsCtx(context.Background(), tc.net, specs, cryptos,
+				core.CryptOptSingle, coordOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ParetoFront(all)
+
+			opt := coordOpts()
+			opt.Prune = true
+			opt.Shards = 3
+			res, err := SweepFrontCtx(context.Background(), tc.net, specs, cryptos,
+				core.CryptOptSingle, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(res.Front, want) {
+				t.Fatalf("pruned front differs from unpruned:\n got %+v\nwant %+v", res.Front, want)
+			}
+			s := res.Stats
+			t.Logf("%s: %d points, %d full evals, %d pruned, %d deferred, %d re-evaluated",
+				tc.name, s.Points, s.FullEvals, s.Pruned, s.Deferred, s.Reevaluated)
+			if s.Points != len(specs)*len(cryptos) || s.Bounded != s.Points {
+				t.Errorf("accounting: %+v", s)
+			}
+			if s.FullEvals+s.Pruned != s.Points {
+				t.Errorf("evals %d + pruned %d != points %d", s.FullEvals, s.Pruned, s.Points)
+			}
+			if tc.wantPrune && s.Pruned == 0 {
+				t.Errorf("prune-friendly space pruned nothing")
+			}
+		})
+	}
+}
+
+// TestCoordinatorShardInvariance: the front is byte-identical across shard
+// counts and worker-pool widths — sharding shapes dispatch, never results.
+func TestCoordinatorShardInvariance(t *testing.T) {
+	specs, cryptos := pruneSweepSpace()
+	net := workload.AlexNet()
+	var want SweepFrontResult
+	configs := []struct{ shards, workers int }{
+		{1, 1}, // canonical serial reference
+		{3, 4},
+		{7, 2},
+		{100, 4}, // more shards than points: clamped
+	}
+	for i, cfg := range configs {
+		opt := coordOpts()
+		opt.Prune = true
+		opt.Shards = cfg.shards
+		opt.MaxParallel = cfg.workers
+		res, err := SweepFrontCtx(context.Background(), net, specs, cryptos, core.CryptOptSingle, opt)
+		if err != nil {
+			t.Fatalf("shards=%d workers=%d: %v", cfg.shards, cfg.workers, err)
+		}
+		if i == 0 {
+			want = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Front, want.Front) {
+			t.Errorf("shards=%d workers=%d: front differs from serial reference", cfg.shards, cfg.workers)
+		}
+	}
+}
+
+// TestCoordinatorUnprunedMode: with Prune off the coordinator evaluates
+// every point and still returns the reference front.
+func TestCoordinatorUnprunedMode(t *testing.T) {
+	specs, cryptos := pruneSweepSpace()
+	specs = specs[:2]
+	net := workload.AlexNet()
+	all, err := SweepOptsCtx(context.Background(), net, specs, cryptos, core.CryptOptSingle, coordOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := coordOpts()
+	opt.Shards = 2
+	res, err := SweepFrontCtx(context.Background(), net, specs, cryptos, core.CryptOptSingle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Front, ParetoFront(all)) {
+		t.Fatal("unpruned coordinator front differs from reference")
+	}
+	if res.Stats.FullEvals != len(specs)*len(cryptos) || res.Stats.Pruned != 0 || res.Stats.Bounded != 0 {
+		t.Errorf("unpruned accounting: %+v", res.Stats)
+	}
+}
+
+// flakyExecutor fails each shard's first dispatch with a deadline expiry
+// after resolving only its first job — the straggler shape the coordinator
+// must recover from by re-dispatching the remainder.
+type flakyExecutor struct {
+	inner LocalExecutor
+	mu    sync.Mutex
+	seen  map[int]bool // guarded by mu
+}
+
+func (f *flakyExecutor) ExecuteShard(ctx context.Context, shard Shard, eval func(ctx context.Context, job PointJob) error) error {
+	f.mu.Lock()
+	first := !f.seen[shard.ID]
+	f.seen[shard.ID] = true
+	f.mu.Unlock()
+	if first {
+		if len(shard.Jobs) > 0 {
+			if err := eval(ctx, shard.Jobs[0]); err != nil {
+				return err
+			}
+		}
+		return context.DeadlineExceeded
+	}
+	return f.inner.ExecuteShard(ctx, shard, eval)
+}
+
+// TestCoordinatorShardRetry: a straggling shard's unresolved jobs are
+// re-dispatched and the sweep still completes with the reference front.
+func TestCoordinatorShardRetry(t *testing.T) {
+	specs, cryptos := pruneSweepSpace()
+	specs = specs[:2]
+	net := workload.AlexNet()
+	all, err := SweepOptsCtx(context.Background(), net, specs, cryptos, core.CryptOptSingle, coordOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := coordOpts()
+	opt.Prune = true
+	opt.Shards = 2
+	opt.Executor = &flakyExecutor{seen: map[int]bool{}}
+	res, err := SweepFrontCtx(context.Background(), net, specs, cryptos, core.CryptOptSingle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Front, ParetoFront(all)) {
+		t.Fatal("front after shard retry differs from reference")
+	}
+	if res.Stats.Redispatches == 0 {
+		t.Error("flaky shards recorded no re-dispatches")
+	}
+}
+
+// stuckExecutor claims success without resolving anything; the coordinator
+// must fail loudly instead of spinning.
+type stuckExecutor struct{}
+
+func (stuckExecutor) ExecuteShard(context.Context, Shard, func(context.Context, PointJob) error) error {
+	return nil
+}
+
+func TestCoordinatorStuckExecutorFails(t *testing.T) {
+	specs, cryptos := pruneSweepSpace()
+	opt := coordOpts()
+	opt.Executor = stuckExecutor{}
+	_, err := SweepFrontCtx(context.Background(), workload.AlexNet(), specs[:1], cryptos[:1],
+		core.CryptOptSingle, opt)
+	if err == nil || !strings.Contains(err.Error(), "without resolving") {
+		t.Fatalf("want a no-progress error, got %v", err)
+	}
+}
+
+func TestCoordinatorCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	specs, cryptos := pruneSweepSpace()
+	_, err := SweepFrontCtx(ctx, workload.AlexNet(), specs, cryptos, core.CryptOptSingle, coordOpts())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !strings.Contains(err.Error(), string(obs.StageSweep)) {
+		t.Errorf("error does not name the sweep stage: %v", err)
+	}
+}
+
+func TestCoordinatorEmptySpace(t *testing.T) {
+	res, err := SweepFrontCtx(context.Background(), workload.AlexNet(), nil, nil, core.CryptOptSingle, Options{})
+	if err != nil || len(res.Front) != 0 {
+		t.Fatalf("empty space: %v %v", res, err)
+	}
+}
+
+// TestShardPartitionCanonical pins the sharding function: best-bound-first
+// round-robin over (CycleLB, AreaMM2, Index), a pure function of the
+// bounds.
+func TestShardPartitionCanonical(t *testing.T) {
+	mk := func(idx int, area float64, lb int64) PointJob {
+		return PointJob{Index: idx, Bound: PointBound{AreaMM2: area, CycleLB: lb}}
+	}
+	jobs := []PointJob{
+		mk(0, 3, 50), mk(1, 1, 10), mk(2, 2, 10), mk(3, 1, 99), mk(4, 1, 10),
+	}
+	c := &coordinator{opt: Options{Shards: 2}, jobs: jobs}
+	got := c.makeShards()
+	// Sorted order: 1 (lb10,a1), 4 (lb10,a1,idx4), 2 (lb10,a2), 0 (lb50), 3 (lb99);
+	// round-robin over 2 shards.
+	want := []Shard{
+		{ID: 0, Jobs: []PointJob{jobs[1], jobs[2], jobs[3]}},
+		{ID: 1, Jobs: []PointJob{jobs[4], jobs[0]}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("shards:\n got %+v\nwant %+v", got, want)
+	}
+	if again := c.makeShards(); !reflect.DeepEqual(again, got) {
+		t.Fatal("sharding is not deterministic")
+	}
+	// Clamp: more shards than jobs.
+	c2 := &coordinator{opt: Options{Shards: 10}, jobs: jobs[:2]}
+	if got := c2.makeShards(); len(got) != 2 {
+		t.Fatalf("shard clamp: %d shards for 2 jobs", len(got))
+	}
+}
+
+// TestPruneBoundSound: the pre-pass bound is below the evaluated cycles and
+// the pre-pass area is bit-identical to the evaluated area, across the
+// sweep matrix — the pair of properties the pruning correctness argument
+// needs.
+func TestPruneBoundSound(t *testing.T) {
+	specs, cryptos := pruneSweepSpace()
+	net := workload.AlexNet()
+	opt := coordOpts()
+	for _, spec := range specs {
+		for _, crypto := range cryptos {
+			lb := networkCycleLB(net, spec, crypto, core.CryptOptSingle)
+			area := pointArea(spec, crypto)
+			base, err := unsecureCycles(context.Background(), net, spec, crypto, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dp, err := evaluateWithBaseline(context.Background(), net, spec, crypto,
+				core.CryptOptSingle, base, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > dp.Cycles {
+				t.Errorf("%s: bound %d exceeds evaluated cycles %d", dp.Label(), lb, dp.Cycles)
+			}
+			if area != dp.AreaMM2 {
+				t.Errorf("%s: pre-pass area %g != evaluated %g", dp.Label(), area, dp.AreaMM2)
+			}
+		}
+	}
+}
+
+// sweepPointRecorder counts coordinator progress events and checks Done
+// monotonicity across both event kinds.
+type sweepPointRecorder struct {
+	obs.Nop
+	mu      sync.Mutex
+	maxDone int // guarded by mu
+	broke   bool
+	skips   map[obs.SweepOutcome]int // guarded by mu
+	final   int
+}
+
+func (r *sweepPointRecorder) observe(done int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if done < r.maxDone-1 {
+		// Concurrent workers may deliver adjacent events out of order; a
+		// drop of more than one step means the counter itself regressed.
+		r.broke = true
+	}
+	if done > r.maxDone {
+		r.maxDone = done
+	}
+	r.final = r.maxDone
+}
+
+func (r *sweepPointRecorder) LayerScheduled(e obs.LayerEvent) { r.observe(e.Done) }
+
+func (r *sweepPointRecorder) SweepPoint(e obs.SweepPointEvent) {
+	r.observe(e.Done)
+	r.mu.Lock()
+	r.skips[e.Outcome]++
+	r.mu.Unlock()
+}
+
+// TestCoordinatorProgressEvents: every point ends in exactly one terminal
+// event, skipped points surface as SweepPoint events, and the Done counter
+// reaches Total.
+func TestCoordinatorProgressEvents(t *testing.T) {
+	specs, cryptos := pruneSweepSpace()
+	net := workload.AlexNet()
+	rec := &sweepPointRecorder{skips: map[obs.SweepOutcome]int{}}
+	opt := coordOpts()
+	opt.Prune = true
+	opt.Shards = 2
+	opt.MaxParallel = 1
+	opt.Observe = rec
+	res, err := SweepFrontCtx(context.Background(), net, specs, cryptos, core.CryptOptSingle, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.broke {
+		t.Error("Done counter regressed")
+	}
+	if rec.final != res.Stats.Points {
+		t.Errorf("final Done %d != Total %d", rec.final, res.Stats.Points)
+	}
+	if got := rec.skips[obs.SweepPruned]; got != res.Stats.Pruned {
+		t.Errorf("pruned events %d != stats %d", got, res.Stats.Pruned)
+	}
+}

@@ -9,9 +9,9 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"secureloop/internal/accelergy"
 	"secureloop/internal/arch"
@@ -83,6 +83,34 @@ type Options struct {
 	// process or a later one — replays byte-identical results from disk
 	// instead of recomputing the searches.
 	Store *store.Store
+
+	// The remaining fields tune the coordinator sweep (SweepFrontCtx) only;
+	// SweepOptsCtx ignores them.
+
+	// Shards partitions the sweep's design points into this many canonical
+	// best-bound-first shards (<= 0 means 1). Sharding never changes the
+	// result — it shapes dispatch for straggler re-dispatch and, through the
+	// Executor seam, distribution.
+	Shards int
+	// Prune enables dominance pruning: design points whose pre-pass
+	// (area, cycle lower bound) is strictly dominated by an already-evaluated
+	// point are skipped without a full evaluation. The returned front is
+	// byte-identical to the unpruned sweep's.
+	Prune bool
+	// BoundSlack widens the prune margin: a bound within (1+BoundSlack)x of
+	// the dominating cycles is deferred to the final exact pass instead of
+	// pruned. Zero is safe (exact ties are always deferred); positive values
+	// only convert prunes into evaluations.
+	BoundSlack float64
+	// ShardTimeout, when positive, bounds each shard dispatch attempt; an
+	// expired shard's unresolved jobs are re-dispatched (straggler recovery).
+	// The final attempt always runs without a deadline.
+	ShardTimeout time.Duration
+	// MaxShardAttempts caps dispatch attempts per shard (<= 0 means 3).
+	MaxShardAttempts int
+	// Executor dispatches shard evaluations (nil: an in-process
+	// LocalExecutor bounded by MaxParallel).
+	Executor Executor
 }
 
 func newScheduler(spec arch.Spec, crypto cryptoengine.Config, opt Options) *core.Scheduler {
@@ -285,44 +313,4 @@ func Figure16Space(base arch.Spec) ([]arch.Spec, []cryptoengine.Config) {
 		{Engine: cryptoengine.Serial(), CountPerDatatype: 30},
 	}
 	return specs, cryptos
-}
-
-// MarkPareto sets Pareto on every point not dominated in (AreaMM2, Cycles):
-// a point is on the front if no other point has both smaller-or-equal area
-// and smaller-or-equal latency (with at least one strict).
-func MarkPareto(points []DesignPoint) {
-	idx := make([]int, len(points))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(a, b int) bool {
-		pa, pb := points[idx[a]], points[idx[b]]
-		//securelint:ignore floateq lexicographic sort key over stored area values; ties fall through to the cycle comparison, so exact equality is the intended semantics and no computed noise is involved
-		if pa.AreaMM2 != pb.AreaMM2 {
-			return pa.AreaMM2 < pb.AreaMM2
-		}
-		return pa.Cycles < pb.Cycles
-	})
-	best := int64(1<<62 - 1)
-	for _, i := range idx {
-		p := &points[i]
-		p.Pareto = p.Cycles < best
-		if p.Cycles < best {
-			best = p.Cycles
-		}
-	}
-}
-
-// ParetoFront returns the Pareto-optimal points sorted by area.
-func ParetoFront(points []DesignPoint) []DesignPoint {
-	cp := append([]DesignPoint(nil), points...)
-	MarkPareto(cp)
-	var out []DesignPoint
-	for _, p := range cp {
-		if p.Pareto {
-			out = append(out, p)
-		}
-	}
-	sort.Slice(out, func(a, b int) bool { return out[a].AreaMM2 < out[b].AreaMM2 })
-	return out
 }

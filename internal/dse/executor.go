@@ -1,0 +1,104 @@
+// The Executor seam between the sweep coordinator and the workers that
+// evaluate design points. LocalExecutor runs jobs on an in-process worker
+// pool (today's behaviour); the interface is deliberately narrow — a shard
+// of self-describing jobs in, per-job callbacks out — so a remote executor
+// speaking the cmd/secured API (ROADMAP items 1 and 4) can slot in without
+// touching the coordinator: the persistent store is already the shared memo
+// that keeps distributed workers from repeating evaluations.
+
+package dse
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"secureloop/internal/obs"
+)
+
+// PointJob is one design point handed to an Executor: its canonical index
+// in the specs-major sweep order, its (spec, crypto) coordinates, and the
+// pre-pass bound the worker re-checks against the live front before paying
+// for a full evaluation.
+type PointJob struct {
+	// Index is the point's position in the canonical specs-major output
+	// order (SpecIdx*len(cryptos) + CryptoIdx).
+	Index int
+	// SpecIdx and CryptoIdx index the sweep's spec and crypto slices.
+	SpecIdx, CryptoIdx int
+	// Bound is the pre-pass estimate (exact area, cycle lower bound).
+	Bound PointBound
+}
+
+// Shard is a canonical partition of the sweep's jobs. Shard membership is a
+// pure function of the job bounds (best-bound-first round-robin), so every
+// execution — serial, parallel, distributed — sees identical shards.
+type Shard struct {
+	// ID numbers the shard within its sweep.
+	ID int
+	// Jobs are the shard's design points, best bound first.
+	Jobs []PointJob
+}
+
+// Executor dispatches one shard's design-point evaluations. eval is
+// supplied by the coordinator and is safe for concurrent calls; it returns
+// nil for points disposed of without work (already resolved, pruned,
+// deferred). ExecuteShard returns the first eval error, or ctx.Err() when
+// the shard's context expires first — the coordinator treats a deadline
+// expiry as a straggler and re-dispatches the shard's unresolved jobs.
+// Implementations must not retain jobs or call eval after returning.
+type Executor interface {
+	ExecuteShard(ctx context.Context, shard Shard, eval func(ctx context.Context, job PointJob) error) error
+}
+
+// LocalExecutor runs shard jobs on an in-process worker pool. The pool is
+// shared across concurrent ExecuteShard calls, so total parallelism stays
+// bounded by Workers however many shards are in flight. The zero value is
+// ready to use.
+type LocalExecutor struct {
+	// Workers bounds the pool (<= 0: one worker per available CPU).
+	Workers int
+
+	once sync.Once
+	sem  chan struct{} // initialised once by any ExecuteShard call
+}
+
+// ExecuteShard evaluates the shard's jobs on the pool. Job launches stop on
+// cancellation; each worker body is guarded, so a panic evaluating one
+// design point surfaces as that job's error rather than killing the
+// process.
+func (e *LocalExecutor) ExecuteShard(ctx context.Context, shard Shard, eval func(ctx context.Context, job PointJob) error) error {
+	e.once.Do(func() {
+		w := e.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		e.sem = make(chan struct{}, w)
+	})
+	errs := make([]error, len(shard.Jobs))
+	var wg sync.WaitGroup
+	for i := range shard.Jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case e.sem <- struct{}{}:
+			// Acquired: always launch, so the slot is always released.
+		case <-ctx.Done():
+			continue // the loop header sees ctx.Err() and stops
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-e.sem }()
+			errs[i] = obs.Guard(func() error { return eval(ctx, shard.Jobs[i]) })
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}

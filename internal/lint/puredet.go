@@ -32,9 +32,11 @@ var AnalyzerPureDet = &Analyzer{
 // skipped, so fixture runs and partial lints stay quiet.
 var puredetSeeds = []struct{ pkg, fn string }{
 	{"internal/mapper", "SearchCachedCtx"},
+	{"internal/mapper", "SearchLowerBound"},
 	{"internal/authblock", "OptimalCachedCtx"},
 	{"internal/authblock", "OptimalStoredCtx"},
 	{"internal/core", "ScheduleNetworkCtx"},
+	{"internal/dse", "SweepFrontCtx"},
 	{"testdata/src/puredet", "CachedEntry"},
 }
 

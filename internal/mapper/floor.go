@@ -1,0 +1,52 @@
+// The exported per-layer search floor: a sound lower bound on the cost of
+// any candidate SearchCtx can return, computed from the guided search's
+// per-dimension bound tables without walking a single tiling lattice point.
+// The DSE coordinator's dominance pruning (internal/dse/bounds.go) is built
+// on it: a design point whose summed layer floors already exceed the Pareto
+// front can be skipped without running the full scheduler.
+
+package mapper
+
+// SearchLowerBound returns a sound lower bound on the scheduling cycles of
+// the best candidate SearchCtx can return for req, on either search path
+// (exhaustive or guided) and at any TopK.
+//
+// The bound is the minimum over all RF-feasible spatial choices of the
+// choice's optimistic lattice bound (guidedPart.minLB: the product of
+// per-axis minimum temporal contributions, clamped to the all-data-crosses-
+// once traffic floor), additionally min'd with the degenerate fallback
+// schedule's exact cost — the candidate the search returns when no tiling
+// is capacity-feasible. Every returned candidate is either a lattice point
+// of some feasible spatial choice (its cost is >= that choice's minLB,
+// which pass A of the guided search relies on) or the fallback itself, so
+// the minimum over both sources can never exceed the best candidate.
+//
+// The cost here is step-1 scheduling cycles (model.SchedulingCycles under
+// the request's effective bandwidth); the scheduled layer's final
+// Stats.Cycles is never smaller (DESIGN.md §14 gives the argument), so the
+// bound is also sound against whole-network totals.
+//
+// Like the search itself, the bound arithmetic uses the mapping package's
+// checked multiplies and may panic on pathological layer shapes; callers on
+// untrusted inputs should guard with obs.Guard and treat a panic as "no
+// usable bound".
+func SearchLowerBound(req Request) int64 {
+	l := req.Layer
+	minTraffic := int64(float64(l.TotalVolume()*int64(l.WordBits)) / 8 / req.EffectiveBytesPerCycle)
+	lb := fallbackCandidates(req)[0].Cycles
+	for _, sp := range spatialChoices(l, req.PEsX, req.PEsY) {
+		g := newGuidedPart(req, sp, minTraffic)
+		if g == nil {
+			continue
+		}
+		if g.minLB < lb {
+			lb = g.minLB
+		}
+	}
+	// Every source above already respects the traffic floor; the clamp
+	// restates the invariant so the floor survives future refactors.
+	if lb < minTraffic {
+		lb = minTraffic
+	}
+	return lb
+}

@@ -81,6 +81,35 @@ type MapperSearchEvent struct {
 	WarmSeeds int
 }
 
+// SweepOutcome names how a sweep disposed of one design point without a
+// fresh full evaluation.
+type SweepOutcome string
+
+const (
+	// SweepPruned: the point's bound was strictly dominated by an evaluated
+	// point, so it was skipped for good.
+	SweepPruned SweepOutcome = "pruned"
+	// SweepDeferred: the bound tied the front (or fell within the slack
+	// band); the point is resolved later in the exact pass.
+	SweepDeferred SweepOutcome = "deferred"
+	// SweepStoreHit: the persistent store's network tier answered the
+	// evaluation, so the point cost a replay, not a search.
+	SweepStoreHit SweepOutcome = "store-hit"
+)
+
+// SweepPointEvent reports a design point a sweep disposed of without a
+// fresh full evaluation — pruned, deferred, or replayed from the store.
+// Together with LayerScheduled events for fully evaluated points, Done
+// advances monotonically to Total (deferred points report the current Done
+// unchanged and advance it when the exact pass resolves them).
+type SweepPointEvent struct {
+	Index   int
+	Label   string
+	Outcome SweepOutcome
+	Done    int
+	Total   int
+}
+
 // Observer receives progress events from the search pipeline. Methods may
 // be called concurrently from worker goroutines; implementations must be
 // safe for concurrent use. Implementations must not mutate shared search
@@ -91,6 +120,7 @@ type Observer interface {
 	LayerScheduled(e LayerEvent)
 	AnnealProgress(e AnnealEvent)
 	MapperSearch(e MapperSearchEvent)
+	SweepPoint(e SweepPointEvent)
 }
 
 // Nop is the no-op Observer; the zero value is ready to use.
@@ -101,6 +131,7 @@ func (Nop) StageEnd(StageEvent)            {}
 func (Nop) LayerScheduled(LayerEvent)      {}
 func (Nop) AnnealProgress(AnnealEvent)     {}
 func (Nop) MapperSearch(MapperSearchEvent) {}
+func (Nop) SweepPoint(SweepPointEvent)     {}
 
 // OrNop returns o, or the no-op observer when o is nil, so pipeline code
 // never branches on nil.
@@ -182,6 +213,12 @@ func (l *Logger) LayerScheduled(e LayerEvent) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	fmt.Fprintf(l.w, "[%s] %d/%d %s\n", e.Stage, e.Done, e.Total, e.Name)
+}
+
+func (l *Logger) SweepPoint(e SweepPointEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "[%s] %d/%d %s (%s)\n", StageSweep, e.Done, e.Total, e.Label, e.Outcome)
 }
 
 func (l *Logger) MapperSearch(e MapperSearchEvent) {

@@ -366,6 +366,24 @@ func (s *Store) Get(key Key) ([]byte, bool) {
 	return append([]byte(nil), payload[1+KeySize:]...), true
 }
 
+// Has reports whether a record for key exists (pending or indexed) without
+// reading its value. It is a peek, not a read: no CRC verification, no
+// hit/miss counting — a later Get can still miss if the record turns out
+// corrupt. The DSE coordinator uses it to label store-answered evaluations
+// in progress output.
+func (s *Store) Has(key Key) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.shut {
+		return false
+	}
+	if _, ok := s.pending[key]; ok {
+		return true
+	}
+	_, ok := s.index[key]
+	return ok
+}
+
 func keyMatches(payload []byte, key Key) bool {
 	var k Key
 	copy(k[:], payload[1:1+KeySize])
