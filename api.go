@@ -32,6 +32,12 @@
 // proves cannot reach it. Deeper functionality (the AuthBlock search, the
 // roofline model, the functional AES-GCM data path) lives in the internal
 // packages and is exercised by the cmd/ binaries and examples/.
+//
+// For long-lived deployments, cmd/secured wraps the same searches in an
+// HTTP/JSON daemon (internal/service): typed requests, a bounded admission
+// queue, singleflight coalescing of identical in-flight requests, SSE
+// progress streaming, and warm answers from a shared persistent store.
+// internal/service/client is its typed Go client.
 package secureloop
 
 import (

@@ -1,0 +1,131 @@
+// Command secured is the SecureLoop scheduling daemon: it serves the
+// scheduler, the design-space sweep and the AuthBlock optimiser over
+// HTTP/JSON (POST /v1/schedule, /v1/sweep, /v1/authblock; GET /v1/health,
+// /v1/stats), with singleflight coalescing of identical requests, a
+// bounded load-shedding admission queue, per-request deadlines, optional
+// SSE progress streaming (Accept: text/event-stream), an optional
+// persistent result store (-store), and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	secured -addr 127.0.0.1:8080 -store /var/cache/secureloop
+//
+// The bound address prints on stdout once listening (useful with -addr
+// :0); "secured: draining" prints when shutdown begins.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secureloop/internal/obs"
+	"secureloop/internal/service"
+	"secureloop/internal/service/httpapi"
+	"secureloop/internal/store"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "secured:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, factored out of main so tests can drive it with
+// their own context, flags and stdout.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("secured", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	storeDir := fs.String("store", "", "persistent result store directory (empty: in-memory caches only)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "max requests computing at once (0: GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "max requests waiting for a slot (0: 64)")
+	memBudgetMB := fs.Int64("mem-budget-mb", 0, "admission memory budget in MiB (0: 4096)")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline for requests that specify none (0: 5m)")
+	maxDeadline := fs.Duration("max-deadline", 0, "upper clamp on requested deadlines (0: 30m)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max wait for in-flight requests on shutdown")
+	maxParallel := fs.Int("parallel", 0, "worker pool size per request (0: one per CPU)")
+	maxBodyMB := fs.Int64("max-body-mb", 0, "max request body size in MiB (0: 8)")
+	progress := fs.Bool("progress", false, "log every request's progress events to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := service.Config{
+		Admission: service.AdmissionConfig{
+			MaxConcurrent:     *maxConcurrent,
+			MaxQueue:          *maxQueue,
+			MemoryBudgetBytes: *memBudgetMB << 20,
+			DefaultDeadline:   *defaultDeadline,
+			MaxDeadline:       *maxDeadline,
+		},
+		MaxParallel: *maxParallel,
+	}
+	if *progress {
+		cfg.Observe = obs.NewLogger(os.Stderr)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "secured: store close:", err)
+			}
+		}()
+		cfg.Store = st
+	}
+	svc := service.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "secured: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{
+		Handler: httpapi.NewHandler(svc, httpapi.Options{MaxBodyBytes: *maxBodyMB << 20}),
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting, let in-flight requests finish (and
+	// their responses flush), then close the listener and the store.
+	fmt.Fprintln(stdout, "secured: draining")
+	dctx, dcancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer dcancel()
+	if err := svc.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "secured: drain:", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "secured: stopped")
+	return nil
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"secureloop/internal/service"
+	"secureloop/internal/service/client"
+)
+
+// lineWriter signals the daemon's lifecycle lines as they print.
+type lineWriter struct {
+	mu    sync.Mutex
+	buf   bytes.Buffer
+	addr  chan string
+	once  sync.Once
+	lines []string
+}
+
+func newLineWriter() *lineWriter {
+	return &lineWriter{addr: make(chan string, 1)}
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.buf.Write(p)
+	for {
+		line, err := lw.buf.ReadString('\n')
+		if err != nil {
+			lw.buf.WriteString(line)
+			break
+		}
+		line = strings.TrimSpace(line)
+		lw.lines = append(lw.lines, line)
+		if rest, ok := strings.CutPrefix(line, "secured: listening on "); ok {
+			lw.once.Do(func() { lw.addr <- rest })
+		}
+	}
+	return len(p), nil
+}
+
+func (lw *lineWriter) sawLine(s string) bool {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	for _, l := range lw.lines {
+		if l == s {
+			return true
+		}
+	}
+	return false
+}
+
+func tinyWire(annealIters int) *service.ScheduleWire {
+	net := `{
+		"name": "tiny2",
+		"layers": [
+			{"name": "l0", "c": 8, "m": 16, "r": 3, "s": 3, "p": 7, "q": 7, "n": 1, "pad": 1},
+			{"name": "l1", "c": 16, "m": 8, "r": 3, "s": 3, "p": 7, "q": 7, "n": 1, "pad": 1}
+		],
+		"segments": [[0, 1]]
+	}`
+	return &service.ScheduleWire{
+		Network:          json.RawMessage(net),
+		AnnealIterations: annealIters,
+	}
+}
+
+// TestDaemonSmoke boots the daemon on an ephemeral port with a persistent
+// store, runs one schedule plus its warm repeat through the typed client
+// (asserting the repeat is byte-identical and evaluation-free), then
+// shuts down via context cancellation — the same path a SIGTERM takes —
+// and asserts the drain completes cleanly.
+func TestDaemonSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lw := newLineWriter()
+	runErr := make(chan error, 1)
+	go func() {
+		runErr <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-store", t.TempDir(),
+			"-drain-timeout", "10s",
+		}, lw)
+	}()
+	var addr string
+	select {
+	case addr = <-lw.addr:
+	case err := <-runErr:
+		t.Fatalf("daemon exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never reported its address")
+	}
+	c := client.New("http://" + addr)
+
+	status, draining, err := c.Health(ctx)
+	if err != nil || status != "ok" || draining {
+		t.Fatalf("health = (%q, %v, %v), want (ok, false, nil)", status, draining, err)
+	}
+
+	cold, coldAcct, err := c.ScheduleBytes(ctx, tinyWire(40))
+	if err != nil {
+		t.Fatalf("cold schedule: %v", err)
+	}
+	if coldAcct.StoreHit {
+		t.Error("cold request reported a store hit")
+	}
+	statsCold, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, warmAcct, err := c.ScheduleBytes(ctx, tinyWire(40))
+	if err != nil {
+		t.Fatalf("warm schedule: %v", err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm repeat not byte-identical:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	if !warmAcct.StoreHit {
+		t.Error("warm repeat did not report X-Secured-Store: hit")
+	}
+	statsWarm, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := statsWarm.AuthOptimal.Runs - statsCold.AuthOptimal.Runs; d != 0 {
+		t.Errorf("warm repeat ran %d AuthBlock optimisations, want 0", d)
+	}
+	coldLookups := statsCold.MapperSearch.Hits + statsCold.MapperSearch.Misses
+	warmLookups := statsWarm.MapperSearch.Hits + statsWarm.MapperSearch.Misses
+	if warmLookups != coldLookups {
+		t.Errorf("warm repeat touched the mapper cache (%d -> %d lookups)", coldLookups, warmLookups)
+	}
+	if statsWarm.Service.Completed != 2 || statsWarm.Service.StoreHits != 1 {
+		t.Errorf("service counters = %+v, want 2 completed with 1 store hit", statsWarm.Service)
+	}
+	if statsWarm.Store == nil || statsWarm.Store.Hits < 1 {
+		t.Error("persistent store stats missing or hitless after warm repeat")
+	}
+
+	// Graceful shutdown: cancelling run's context is the SIGTERM path.
+	cancel()
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !lw.sawLine("secured: draining") || !lw.sawLine("secured: stopped") {
+		t.Errorf("lifecycle lines missing; got %q", lw.lines)
+	}
+}
+
+// TestDaemonRejectsBadFlags: flag errors return without the daemon
+// starting.
+func TestDaemonRejectsBadFlags(t *testing.T) {
+	err := run(context.Background(), []string{"-no-such-flag"}, io.Discard)
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

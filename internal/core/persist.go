@@ -40,19 +40,21 @@ const netPrefix = "core.network"
 
 // persistNetworkKey canonically encodes the full request identity.
 func (s *Scheduler) persistNetworkKey(net *workload.Network, alg Algorithm) store.Key {
-	e := store.NewEnc().String(netPrefix).Int(int64(alg))
+	e := store.NewEnc().String(netPrefix)
+	s.EncodeRequest(e, net, alg)
+	return e.Key()
+}
 
-	e.Int(int64(len(net.Layers)))
-	for i := range net.Layers {
-		mapper.EncodeLayerShape(e, net.Layers[i])
-	}
-	e.Int(int64(len(net.Segments)))
-	for _, seg := range net.Segments {
-		e.Int(int64(len(seg)))
-		for _, li := range seg {
-			e.Int(int64(li))
-		}
-	}
+// EncodeRequest appends the canonical encoding of the full request identity
+// — algorithm, network shape, and every scheduler knob that can change the
+// result — to e. It is the single definition of "identical request" shared
+// by the network-tier store key above and the service layer's
+// request-identity keys (singleflight coalescing, response caching), which
+// prepend their own domain prefixes. Anything encoded here must determine
+// the result; anything that determines the result must be encoded here.
+func (s *Scheduler) EncodeRequest(e *store.Enc, net *workload.Network, alg Algorithm) {
+	e.Int(int64(alg))
+	encodeNetworkShape(e, net)
 
 	spec := s.Spec
 	e.Int(int64(spec.PEsX)).Int(int64(spec.PEsY)).
@@ -69,7 +71,22 @@ func (s *Scheduler) persistNetworkKey(net *workload.Network, alg Algorithm) stor
 		Int(int64(s.TopK)).Int(int64(s.Objective))
 	e.Int(int64(s.Anneal.Iterations)).Float(s.Anneal.TInit).Float(s.Anneal.TFinal).Int(s.Anneal.Seed)
 	e.Int(int64(s.Mapper.Mode)).Float(s.Mapper.Epsilon).Bool(s.Mapper.DisableWarmStart)
-	return e.Key()
+}
+
+// encodeNetworkShape appends the network's full shape identity: every layer
+// shape in order, then the segment structure.
+func encodeNetworkShape(e *store.Enc, net *workload.Network) {
+	e.Int(int64(len(net.Layers)))
+	for i := range net.Layers {
+		mapper.EncodeLayerShape(e, net.Layers[i])
+	}
+	e.Int(int64(len(net.Segments)))
+	for _, seg := range net.Segments {
+		e.Int(int64(len(seg)))
+		for _, li := range seg {
+			e.Int(int64(li))
+		}
+	}
 }
 
 // StoredNetwork reports whether the persistent store already holds a

@@ -28,6 +28,8 @@ var ctxfirstPackages = []string{
 	"internal/authblock",
 	"internal/dse",
 	"internal/anneal",
+	"internal/service",
+	"internal/service/client",
 }
 
 // ctxfirstWorkTypes name the element types whose iteration marks a function

@@ -37,6 +37,9 @@ var puredetSeeds = []struct{ pkg, fn string }{
 	{"internal/authblock", "OptimalStoredCtx"},
 	{"internal/core", "ScheduleNetworkCtx"},
 	{"internal/dse", "SweepFrontCtx"},
+	{"internal/service", "ScheduleBody"},
+	{"internal/service", "SweepBody"},
+	{"internal/service", "AuthBlockBody"},
 	{"testdata/src/puredet", "CachedEntry"},
 }
 

@@ -37,10 +37,13 @@ const (
 )
 
 // StageEvent marks a stage starting or ending. Units is the number of work
-// items the stage will process (layers, design points, segments).
+// items the stage will process (layers, design points, segments). The JSON
+// tags here (and on the other event payloads) fix the wire names of the
+// serialized progress stream (Event in event.go); renaming a tag is a wire
+// format change for every cmd/secured client.
 type StageEvent struct {
-	Stage Stage
-	Units int
+	Stage Stage `json:"stage"`
+	Units int   `json:"units"`
 }
 
 // LayerEvent reports one completed work item within a stage: layer Index
@@ -48,22 +51,22 @@ type StageEvent struct {
 // counters. Done is a completion count, not an ordering guarantee — items
 // finish in pool order.
 type LayerEvent struct {
-	Stage Stage
-	Index int
-	Name  string
-	Done  int
-	Total int
+	Stage Stage  `json:"stage"`
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
 }
 
 // AnnealEvent reports annealing progress for one segment. Tag identifies
 // the segment (its first layer index); Iteration counts from 0 to
 // Iterations; Best is the lowest cost observed so far.
 type AnnealEvent struct {
-	Tag        int
-	Iteration  int
-	Iterations int
-	Accepted   int
-	Best       float64
+	Tag        int     `json:"tag"`
+	Iteration  int     `json:"iteration"`
+	Iterations int     `json:"iterations"`
+	Accepted   int     `json:"accepted"`
+	Best       float64 `json:"best"`
 }
 
 // MapperSearchEvent accounts for one guided mapper search: how many tilings
@@ -74,11 +77,11 @@ type AnnealEvent struct {
 // tilings inside spatial choices discarded wholesale by their part-level
 // bound. WarmSeeds is how many warm-start seeds were applied.
 type MapperSearchEvent struct {
-	Layer     string
-	Evaluated int64
-	Pruned    int64
-	Skipped   int64
-	WarmSeeds int
+	Layer     string `json:"layer"`
+	Evaluated int64  `json:"evaluated"`
+	Pruned    int64  `json:"pruned"`
+	Skipped   int64  `json:"skipped"`
+	WarmSeeds int    `json:"warm_seeds"`
 }
 
 // SweepOutcome names how a sweep disposed of one design point without a
@@ -103,11 +106,11 @@ const (
 // advances monotonically to Total (deferred points report the current Done
 // unchanged and advance it when the exact pass resolves them).
 type SweepPointEvent struct {
-	Index   int
-	Label   string
-	Outcome SweepOutcome
-	Done    int
-	Total   int
+	Index   int          `json:"index"`
+	Label   string       `json:"label"`
+	Outcome SweepOutcome `json:"outcome"`
+	Done    int          `json:"done"`
+	Total   int          `json:"total"`
 }
 
 // Observer receives progress events from the search pipeline. Methods may

@@ -1,0 +1,328 @@
+// Package client is the typed HTTP client for cmd/secured: one method per
+// endpoint, raw-bytes variants for byte-identity assertions, and an SSE
+// consumer for progress streaming. Stdlib only, context-first throughout.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"secureloop/internal/obs"
+	"secureloop/internal/service"
+)
+
+// Client talks to one secured daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP overrides the transport (default http.DefaultClient).
+	HTTP *http.Client
+}
+
+// New builds a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Accounting is the per-serving metadata the daemon reports in headers
+// (never in the body, which stays canonical).
+type Accounting struct {
+	// StoreHit reports the request was answered from the persistent store
+	// without evaluation.
+	StoreHit bool
+	// Coalesced reports the request joined an identical in-flight request.
+	Coalesced bool
+	// RetryAfterSeconds carries the Retry-After hint of a 429 rejection.
+	RetryAfterSeconds int
+}
+
+// APIError is a non-2xx response.
+type APIError struct {
+	StatusCode int
+	Message    string
+	Accounting Accounting
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("secured: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// IsRetryable reports the request was shed by load and worth retrying
+// after Accounting.RetryAfterSeconds.
+func (e *APIError) IsRetryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests ||
+		e.StatusCode == http.StatusServiceUnavailable
+}
+
+func accountingFrom(hdr http.Header) Accounting {
+	var a Accounting
+	a.StoreHit = hdr.Get("X-Secured-Store") == "hit"
+	a.Coalesced = hdr.Get("X-Secured-Coalesced") == "1"
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		if n, err := strconv.Atoi(ra); err == nil {
+			a.RetryAfterSeconds = n
+		}
+	}
+	return a
+}
+
+// post sends one JSON request and returns the raw canonical body.
+func (c *Client) post(ctx context.Context, path string, in any) ([]byte, Accounting, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return nil, Accounting{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, Accounting{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, Accounting{}, err
+	}
+	defer resp.Body.Close()
+	acct := accountingFrom(resp.Header)
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, acct, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, acct, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(body), Accounting: acct}
+	}
+	return body, acct, nil
+}
+
+func errorMessage(body []byte) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		return eb.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// ScheduleBytes runs one schedule request and returns the canonical
+// response bytes — the form to compare for warm-repeat byte-identity.
+func (c *Client) ScheduleBytes(ctx context.Context, req *service.ScheduleWire) ([]byte, Accounting, error) {
+	return c.post(ctx, "/v1/schedule", req)
+}
+
+// Schedule runs one schedule request and decodes the typed response.
+func (c *Client) Schedule(ctx context.Context, req *service.ScheduleWire) (*service.ScheduleResponse, Accounting, error) {
+	body, acct, err := c.ScheduleBytes(ctx, req)
+	if err != nil {
+		return nil, acct, err
+	}
+	var out service.ScheduleResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, acct, err
+	}
+	return &out, acct, nil
+}
+
+// SweepBytes runs one sweep request and returns the canonical bytes.
+func (c *Client) SweepBytes(ctx context.Context, req *service.SweepWire) ([]byte, Accounting, error) {
+	return c.post(ctx, "/v1/sweep", req)
+}
+
+// Sweep runs one sweep request and decodes the typed response.
+func (c *Client) Sweep(ctx context.Context, req *service.SweepWire) (*service.SweepResponse, Accounting, error) {
+	body, acct, err := c.SweepBytes(ctx, req)
+	if err != nil {
+		return nil, acct, err
+	}
+	var out service.SweepResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, acct, err
+	}
+	return &out, acct, nil
+}
+
+// AuthBlockBytes runs one authblock request and returns the canonical
+// bytes.
+func (c *Client) AuthBlockBytes(ctx context.Context, req *service.AuthBlockWire) ([]byte, Accounting, error) {
+	return c.post(ctx, "/v1/authblock", req)
+}
+
+// AuthBlock runs one authblock request and decodes the typed response.
+func (c *Client) AuthBlock(ctx context.Context, req *service.AuthBlockWire) (*service.AuthBlockResponse, Accounting, error) {
+	body, acct, err := c.AuthBlockBytes(ctx, req)
+	if err != nil {
+		return nil, acct, err
+	}
+	var out service.AuthBlockResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, acct, err
+	}
+	return &out, acct, nil
+}
+
+// ScheduleStream runs one schedule request with SSE progress streaming:
+// onEvent (when non-nil) receives every progress event in order, then the
+// canonical result bytes return. The stream shares the connection, so
+// cancelling ctx aborts both the stream and the computation (unless other
+// clients coalesced onto it).
+func (c *Client) ScheduleStream(ctx context.Context, req *service.ScheduleWire, onEvent func(obs.Event)) ([]byte, Accounting, error) {
+	return c.stream(ctx, "/v1/schedule", req, onEvent)
+}
+
+// SweepStream is ScheduleStream for /v1/sweep.
+func (c *Client) SweepStream(ctx context.Context, req *service.SweepWire, onEvent func(obs.Event)) ([]byte, Accounting, error) {
+	return c.stream(ctx, "/v1/sweep", req, onEvent)
+}
+
+// stream posts one request with Accept: text/event-stream and consumes the
+// SSE frames: progress events feed onEvent, the accounting frame fills the
+// Accounting, the result frame (with its canonical trailing newline
+// restored) or error frame terminates.
+func (c *Client) stream(ctx context.Context, path string, in any, onEvent func(obs.Event)) ([]byte, Accounting, error) {
+	payload, err := json.Marshal(in)
+	if err != nil {
+		return nil, Accounting{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(payload))
+	if err != nil {
+		return nil, Accounting{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, Accounting{}, err
+	}
+	defer resp.Body.Close()
+	acct := accountingFrom(resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, acct, &APIError{StatusCode: resp.StatusCode, Message: errorMessage(body), Accounting: acct}
+	}
+	var event string
+	var data bytes.Buffer
+	var result []byte
+	var apiErr *APIError
+	flush := func() error {
+		if event == "" && data.Len() == 0 {
+			return nil
+		}
+		switch event {
+		case "progress":
+			if onEvent != nil {
+				var ev obs.Event
+				if err := json.Unmarshal(data.Bytes(), &ev); err == nil {
+					onEvent(ev)
+				}
+			}
+		case "accounting":
+			var a struct {
+				Store     string `json:"store"`
+				Coalesced bool   `json:"coalesced"`
+			}
+			if err := json.Unmarshal(data.Bytes(), &a); err == nil {
+				acct.StoreHit = a.Store == "hit"
+				acct.Coalesced = a.Coalesced
+			}
+		case "result":
+			result = append(append([]byte{}, data.Bytes()...), '\n')
+		case "error":
+			apiErr = &APIError{StatusCode: http.StatusInternalServerError, Message: errorMessage(data.Bytes()), Accounting: acct}
+		}
+		event = ""
+		data.Reset()
+		return nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return nil, acct, err
+			}
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, acct, err
+	}
+	_ = flush()
+	if apiErr != nil {
+		return nil, acct, apiErr
+	}
+	if result == nil {
+		return nil, acct, fmt.Errorf("secured: stream ended without a result")
+	}
+	return result, acct, nil
+}
+
+// Health fetches /v1/health. A draining daemon answers 503; the decoded
+// body returns either way alongside the APIError.
+func (c *Client) Health(ctx context.Context) (status string, draining bool, err error) {
+	body, code, err := c.get(ctx, "/v1/health")
+	if err != nil && body == nil {
+		return "", false, err
+	}
+	var hb struct {
+		Status   string `json:"status"`
+		Draining bool   `json:"draining"`
+	}
+	if jerr := json.Unmarshal(body, &hb); jerr != nil {
+		return "", false, jerr
+	}
+	if code != http.StatusOK && code != http.StatusServiceUnavailable {
+		return hb.Status, hb.Draining, err
+	}
+	return hb.Status, hb.Draining, nil
+}
+
+// Stats fetches /v1/stats.
+func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
+	body, code, err := c.get(ctx, "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, &APIError{StatusCode: code, Message: errorMessage(body)}
+	}
+	var st service.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func (c *Client) get(ctx context.Context, path string) ([]byte, int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}

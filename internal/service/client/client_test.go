@@ -1,0 +1,103 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"secureloop/internal/obs"
+	"secureloop/internal/service"
+)
+
+// TestStreamParsing: the SSE consumer reassembles progress events, the
+// accounting frame, and the result bytes (canonical newline restored) from
+// a canned stream.
+func TestStreamParsing(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get("Accept") != "text/event-stream" {
+			t.Errorf("Accept = %q, want text/event-stream", r.Header.Get("Accept"))
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		_, _ = w.Write([]byte(
+			"event: progress\ndata: {\"seq\":1,\"kind\":\"stage_start\",\"stage_event\":{\"stage\":\"s\",\"units\":2}}\n\n" +
+				"event: progress\ndata: {\"seq\":2,\"kind\":\"layer\",\"layer_event\":{\"stage\":\"s\",\"index\":0,\"name\":\"l0\",\"done\":1,\"total\":2}}\n\n" +
+				"event: accounting\ndata: {\"store\":\"hit\",\"coalesced\":true}\n\n" +
+				"event: result\ndata: {\"network\":\"tiny\"}\n\n"))
+	}))
+	defer srv.Close()
+
+	var events []obs.Event
+	body, acct, err := New(srv.URL).ScheduleStream(context.Background(), &service.ScheduleWire{}, func(ev obs.Event) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, []byte("{\"network\":\"tiny\"}\n")) {
+		t.Errorf("result = %q, want canonical newline-terminated body", body)
+	}
+	if !acct.StoreHit || !acct.Coalesced {
+		t.Errorf("accounting = %+v, want store hit + coalesced", acct)
+	}
+	if len(events) != 2 || events[0].Kind != obs.EventStageStart || events[1].Kind != obs.EventLayer {
+		t.Fatalf("events = %+v, want stage_start then layer", events)
+	}
+	if events[1].Layer == nil || events[1].Layer.Name != "l0" {
+		t.Errorf("layer payload = %+v, want name l0", events[1].Layer)
+	}
+}
+
+// TestStreamError: an error frame surfaces as an APIError.
+func TestStreamError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		_, _ = w.Write([]byte("event: error\ndata: {\"error\":\"deadline exceeded\"}\n\n"))
+	}))
+	defer srv.Close()
+	_, _, err := New(srv.URL).ScheduleStream(context.Background(), &service.ScheduleWire{}, nil)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Message != "deadline exceeded" {
+		t.Fatalf("err = %v, want APIError with the frame's message", err)
+	}
+}
+
+// TestStreamTruncated: a stream ending without a result frame is an error,
+// never a silent empty body.
+func TestStreamTruncated(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		_, _ = w.Write([]byte("event: progress\ndata: {\"seq\":1,\"kind\":\"stage_start\"}\n\n"))
+	}))
+	defer srv.Close()
+	if _, _, err := New(srv.URL).ScheduleStream(context.Background(), &service.ScheduleWire{}, nil); err == nil {
+		t.Fatal("truncated stream returned no error")
+	}
+}
+
+// TestErrorStatusMapping: non-2xx responses map to APIError with the
+// envelope message, the status, and the Retry-After hint.
+func TestErrorStatusMapping(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		_, _ = w.Write([]byte(`{"error":"queue full"}`))
+	}))
+	defer srv.Close()
+	_, _, err := New(srv.URL).ScheduleBytes(context.Background(), &service.ScheduleWire{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests || apiErr.Message != "queue full" {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+	if apiErr.Accounting.RetryAfterSeconds != 7 {
+		t.Errorf("RetryAfterSeconds = %d, want 7", apiErr.Accounting.RetryAfterSeconds)
+	}
+	if !apiErr.IsRetryable() {
+		t.Error("429 not retryable")
+	}
+}

@@ -1,0 +1,387 @@
+package httpapi_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"secureloop/internal/obs"
+	"secureloop/internal/service"
+	"secureloop/internal/service/client"
+	"secureloop/internal/service/httpapi"
+	"secureloop/internal/store"
+)
+
+// tinyWire is a small inline-network schedule request; annealIters
+// perturbs the identity so tests can mint distinct requests at will.
+func tinyWire(annealIters int) *service.ScheduleWire {
+	net := `{
+		"name": "tiny2",
+		"layers": [
+			{"name": "l0", "c": 8, "m": 16, "r": 3, "s": 3, "p": 7, "q": 7,
+			 "stride_h": 1, "stride_w": 1, "pad_h": 1, "pad_w": 1, "n": 1, "word_bits": 16},
+			{"name": "l1", "c": 16, "m": 8, "r": 3, "s": 3, "p": 7, "q": 7,
+			 "stride_h": 1, "stride_w": 1, "pad_h": 1, "pad_w": 1, "n": 1, "word_bits": 16}
+		],
+		"segments": [[0, 1]]
+	}`
+	return &service.ScheduleWire{
+		Network:          json.RawMessage(net),
+		AnnealIterations: annealIters,
+	}
+}
+
+func newServer(t *testing.T, cfg service.Config) (*service.Service, *client.Client) {
+	t.Helper()
+	svc := service.New(cfg)
+	srv := httptest.NewServer(httpapi.NewHandler(svc, httpapi.Options{}))
+	t.Cleanup(srv.Close)
+	return svc, client.New(srv.URL)
+}
+
+// TestScheduleWarmRepeatByteIdentical: against a mounted store, the warm
+// repeat of an identical request over HTTP is byte-identical, reports a
+// store hit in the header, and performs zero mapper or AuthBlock work.
+func TestScheduleWarmRepeatByteIdentical(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, c := newServer(t, service.Config{Store: st})
+
+	cold, coldAcct, err := c.ScheduleBytes(context.Background(), tinyWire(40))
+	if err != nil {
+		t.Fatalf("cold: %v", err)
+	}
+	if coldAcct.StoreHit {
+		t.Error("cold request reported a store hit")
+	}
+	statsAfterCold, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, warmAcct, err := c.ScheduleBytes(context.Background(), tinyWire(40))
+	if err != nil {
+		t.Fatalf("warm: %v", err)
+	}
+	if !warmAcct.StoreHit {
+		t.Error("warm repeat did not report X-Secured-Store: hit")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm body differs from cold:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	statsAfterWarm, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluation-free: no new AuthBlock optimisation runs, no new mapper
+	// search cache activity.
+	if d := statsAfterWarm.AuthOptimal.Runs - statsAfterCold.AuthOptimal.Runs; d != 0 {
+		t.Errorf("warm repeat ran %d AuthBlock optimisations, want 0", d)
+	}
+	cold2 := statsAfterCold.MapperSearch.Hits + statsAfterCold.MapperSearch.Misses
+	warm2 := statsAfterWarm.MapperSearch.Hits + statsAfterWarm.MapperSearch.Misses
+	if warm2 != cold2 {
+		t.Errorf("warm repeat touched the mapper search cache (%d -> %d lookups)", cold2, warm2)
+	}
+	if statsAfterWarm.Service.StoreHits != 1 {
+		t.Errorf("service store_hits = %d, want 1", statsAfterWarm.Service.StoreHits)
+	}
+	// A typed decode of the same body round-trips.
+	typed, _, err := c.Schedule(context.Background(), tinyWire(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typed.Network != "tiny2" || len(typed.Layers) != 2 || typed.Total.Cycles <= 0 {
+		t.Errorf("typed response malformed: %+v", typed)
+	}
+}
+
+// gateObserver blocks the first StageStart until released.
+type gateObserver struct {
+	obs.Nop
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGateObserver() *gateObserver {
+	return &gateObserver{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateObserver) StageStart(obs.StageEvent) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+}
+
+// TestQueueFullReturns429: with one compute slot and a one-deep queue, a
+// third distinct request is shed with 429 and a Retry-After hint while the
+// first two eventually complete.
+func TestQueueFullReturns429(t *testing.T) {
+	gate := newGateObserver()
+	_, c := newServer(t, service.Config{
+		Observe:   gate,
+		Admission: service.AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1},
+	})
+
+	type result struct {
+		body []byte
+		err  error
+	}
+	results := make(chan result, 2)
+	go func() {
+		b, _, err := c.ScheduleBytes(context.Background(), tinyWire(40))
+		results <- result{b, err}
+	}()
+	<-gate.entered // leader holds the only slot
+	go func() {
+		b, _, err := c.ScheduleBytes(context.Background(), tinyWire(41))
+		results <- result{b, err}
+	}()
+	// Wait until the second request occupies the queue slot.
+	waitFor(t, func() bool {
+		st, err := c.Stats(context.Background())
+		return err == nil && st.Queue.Queued == 1
+	})
+
+	_, _, err := c.ScheduleBytes(context.Background(), tinyWire(42))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request = %v, want HTTP 429", err)
+	}
+	if apiErr.Accounting.RetryAfterSeconds < 1 {
+		t.Errorf("Retry-After = %d, want >= 1", apiErr.Accounting.RetryAfterSeconds)
+	}
+	if !apiErr.IsRetryable() {
+		t.Error("429 not reported retryable")
+	}
+
+	close(gate.release)
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Errorf("in-flight request %d failed: %v", i, r.err)
+		}
+	}
+}
+
+// TestDisconnectCancelsCompute: a client that abandons its request cancels
+// the scheduling context server-side. The handler is wrapped so the test
+// can hold the compute (via the gate) until the server has demonstrably
+// cancelled the request context — otherwise a cache-warm compute could win
+// the race against connection-close detection.
+func TestDisconnectCancelsCompute(t *testing.T) {
+	gate := newGateObserver()
+	svc := service.New(service.Config{Observe: gate})
+	inner := httpapi.NewHandler(svc, httpapi.Options{})
+	sawCancel := make(chan struct{})
+	var sawOnce sync.Once
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/schedule" {
+			inner.ServeHTTP(w, r)
+			return
+		}
+		// Substitute a context we cancel ourselves when the connection
+		// context dies, and signal only after that cancellation has
+		// propagated through the whole service context tree.
+		reqCtx, reqCancel := context.WithCancel(context.Background())
+		defer reqCancel()
+		go func() {
+			<-r.Context().Done()
+			reqCancel()
+			sawOnce.Do(func() { close(sawCancel) })
+		}()
+		inner.ServeHTTP(w, r.WithContext(reqCtx))
+	}))
+	t.Cleanup(srv.Close)
+	c := client.New(srv.URL)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.ScheduleBytes(ctx, tinyWire(40))
+		errCh <- err
+	}()
+	<-gate.entered // compute is underway
+	cancel()       // the client disconnects
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client saw %v, want context.Canceled", err)
+	}
+	<-sawCancel         // the server has cancelled the scheduling context
+	close(gate.release) // compute unblocks into a definitively dead context
+	waitFor(t, func() bool { return svc.Stats().Service.Cancelled == 1 })
+	if got := svc.Stats().Service; got.Completed != 0 {
+		t.Errorf("completed = %d after disconnect, want 0", got.Completed)
+	}
+}
+
+// TestSSEStream: the SSE path streams ordered progress events and ends
+// with result bytes identical to the plain-JSON serving of the same
+// request.
+func TestSSEStream(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	var events []obs.Event
+	streamed, _, err := c.ScheduleStream(context.Background(), tinyWire(40), func(ev obs.Event) {
+		events = append(events, ev)
+	})
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("event %d out of order (seq %d after %d)", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+	plain, _, err := c.ScheduleBytes(context.Background(), tinyWire(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, plain) {
+		t.Errorf("streamed result differs from plain serving:\nsse:   %s\nplain: %s", streamed, plain)
+	}
+}
+
+// TestCoalescedHeader: an identical request joining an in-flight one is
+// marked X-Secured-Coalesced; the leader is not.
+func TestCoalescedHeader(t *testing.T) {
+	gate := newGateObserver()
+	_, c := newServer(t, service.Config{Observe: gate})
+	type res struct {
+		acct client.Accounting
+		err  error
+	}
+	first := make(chan res, 1)
+	go func() {
+		_, a, err := c.ScheduleBytes(context.Background(), tinyWire(40))
+		first <- res{a, err}
+	}()
+	<-gate.entered
+	second := make(chan res, 1)
+	go func() {
+		_, a, err := c.ScheduleBytes(context.Background(), tinyWire(40))
+		second <- res{a, err}
+	}()
+	waitFor(t, func() bool {
+		st, err := c.Stats(context.Background())
+		return err == nil && st.Service.Coalesced >= 1
+	})
+	close(gate.release)
+	r1, r2 := <-first, <-second
+	if r1.err != nil || r2.err != nil {
+		t.Fatalf("results: %v / %v", r1.err, r2.err)
+	}
+	if r1.acct.Coalesced {
+		t.Error("leader marked coalesced")
+	}
+	if !r2.acct.Coalesced {
+		t.Error("follower not marked X-Secured-Coalesced")
+	}
+}
+
+// TestHealthAndDrain: health reports ok, flips to draining (503) after
+// Drain, and a draining service sheds with 503.
+func TestHealthAndDrain(t *testing.T) {
+	svc, c := newServer(t, service.Config{})
+	status, draining, err := c.Health(context.Background())
+	if err != nil || status != "ok" || draining {
+		t.Fatalf("health = (%q, %v, %v), want (ok, false, nil)", status, draining, err)
+	}
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	status, draining, err = c.Health(context.Background())
+	if err != nil || status != "draining" || !draining {
+		t.Fatalf("health after drain = (%q, %v, %v), want (draining, true, nil)", status, draining, err)
+	}
+	_, _, err = c.ScheduleBytes(context.Background(), tinyWire(40))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("schedule while draining = %v, want HTTP 503", err)
+	}
+}
+
+// TestBadRequests: malformed bodies and unknown names answer 400 with a
+// JSON error envelope.
+func TestBadRequests(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	cases := []struct {
+		name string
+		wire *service.ScheduleWire
+	}{
+		{"no network", &service.ScheduleWire{}},
+		{"unknown network", &service.ScheduleWire{Network: json.RawMessage(`"nonexistent-net"`)}},
+		{"unknown algorithm", func() *service.ScheduleWire {
+			w := tinyWire(40)
+			w.Algorithm = "Crypt-Bogus"
+			return w
+		}()},
+		{"unknown dram", func() *service.ScheduleWire {
+			w := tinyWire(40)
+			w.Arch = &service.ArchWire{DRAM: "DDR9"}
+			return w
+		}()},
+	}
+	for _, tc := range cases {
+		_, _, err := c.ScheduleBytes(context.Background(), tc.wire)
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: err = %v, want HTTP 400", tc.name, err)
+		} else if apiErr.Message == "" {
+			t.Errorf("%s: empty error message", tc.name)
+		}
+	}
+	// Syntactically broken JSON straight at the endpoint.
+	resp, err := http.Post(c.BaseURL+"/v1/schedule", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken JSON = HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAuthBlockEndpoint: the authblock endpoint round-trips through wire
+// resolution.
+func TestAuthBlockEndpoint(t *testing.T) {
+	_, c := newServer(t, service.Config{})
+	resp, _, err := c.AuthBlock(context.Background(), &service.AuthBlockWire{
+		Producer: service.ProducerWire{C: 8, H: 16, W: 16, TileC: 8, TileH: 4, TileW: 4, WritesPerTile: 1},
+		Consumer: service.ConsumerWire{TileC: 8, WinH: 6, WinW: 6, StepH: 4, StepW: 4, CountC: 1, CountH: 3, CountW: 3, FetchesPerTile: 1},
+		MaxU:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Optimal.U < 1 || resp.Costs.TotalBits <= 0 {
+		t.Errorf("authblock response malformed: %+v", resp)
+	}
+	if len(resp.Sweep) != 3 || resp.SweepOrientation != "horizontal" {
+		t.Errorf("sweep curve malformed: %d entries along %q", len(resp.Sweep), resp.SweepOrientation)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("timed out waiting for condition")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

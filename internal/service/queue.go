@@ -1,0 +1,225 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Admission errors, mapped to HTTP statuses by internal/service/httpapi
+// (429 + Retry-After, 503, 413).
+var (
+	// ErrQueueFull rejects a request when the waiting queue is at capacity —
+	// load shedding in preference to unbounded latency.
+	ErrQueueFull = errors.New("service: admission queue full")
+	// ErrDraining rejects new requests while the service drains for
+	// shutdown; in-flight requests run to completion.
+	ErrDraining = errors.New("service: draining")
+	// ErrRequestTooLarge rejects a request whose estimated memory footprint
+	// exceeds the whole budget — it could never be admitted.
+	ErrRequestTooLarge = errors.New("service: request exceeds memory budget")
+)
+
+// AdmissionConfig bounds what the service accepts concurrently. The zero
+// value of each field selects the documented default.
+type AdmissionConfig struct {
+	// MaxConcurrent bounds requests computing at once (default: GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a slot beyond MaxConcurrent
+	// (default 64); arrivals past it are shed with ErrQueueFull.
+	MaxQueue int
+	// MemoryBudgetBytes bounds the summed memory estimates of admitted
+	// requests (default 4 GiB). A request estimated above the whole budget
+	// is rejected with ErrRequestTooLarge; one that merely doesn't fit right
+	// now waits in the queue.
+	MemoryBudgetBytes int64
+	// DefaultDeadline applies to requests that specify none (default 5m).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps requested deadlines (default 30m).
+	MaxDeadline time.Duration
+}
+
+func (c AdmissionConfig) maxConcurrent() int {
+	if c.MaxConcurrent > 0 {
+		return c.MaxConcurrent
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c AdmissionConfig) maxQueue() int {
+	if c.MaxQueue > 0 {
+		return c.MaxQueue
+	}
+	return 64
+}
+
+func (c AdmissionConfig) memoryBudget() int64 {
+	if c.MemoryBudgetBytes > 0 {
+		return c.MemoryBudgetBytes
+	}
+	return 4 << 30
+}
+
+// Deadline resolves a requested deadline against the defaults: zero means
+// DefaultDeadline, anything above MaxDeadline is clamped to it.
+func (c AdmissionConfig) Deadline(requested time.Duration) time.Duration {
+	d := requested
+	if d <= 0 {
+		if c.DefaultDeadline > 0 {
+			d = c.DefaultDeadline
+		} else {
+			d = 5 * time.Minute
+		}
+	}
+	maxD := c.MaxDeadline
+	if maxD <= 0 {
+		maxD = 30 * time.Minute
+	}
+	if d > maxD {
+		d = maxD
+	}
+	return d
+}
+
+// admission is the bounded load-shedding gate in front of the compute path:
+// at most maxConcurrent requests run, at most maxQueue more wait, admitted
+// memory estimates never exceed the budget, and waiting is always
+// interruptible by the request's context.
+type admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	running  int   // guarded by mu
+	queued   int   // guarded by mu
+	memInUse int64 // guarded by mu
+	draining bool  // guarded by mu
+	// wake is closed and replaced on every state change that could unblock
+	// a waiter (a release, a drain). Waiters snapshot it under mu and select
+	// on it against their context.
+	wake chan struct{} // guarded by mu
+}
+
+func newAdmission(cfg AdmissionConfig) *admission {
+	return &admission{
+		cfg:  cfg,
+		wake: make(chan struct{}),
+	}
+}
+
+// Admit blocks until the request (with the given memory estimate) holds a
+// compute slot, then returns its release function. It fails fast with
+// ErrQueueFull when the wait queue is at capacity, ErrDraining once Drain
+// has begun, ErrRequestTooLarge when the estimate can never fit, and the
+// context's error when the caller gives up while queued. A nil error means
+// the caller MUST call release exactly once.
+func (a *admission) Admit(ctx context.Context, memBytes int64) (release func(), err error) {
+	if memBytes < 0 {
+		memBytes = 0
+	}
+	if memBytes > a.cfg.memoryBudget() {
+		return nil, ErrRequestTooLarge
+	}
+	queued := false
+	a.mu.Lock()
+	for {
+		if a.draining {
+			if queued {
+				a.queued--
+			}
+			a.mu.Unlock()
+			return nil, ErrDraining
+		}
+		if a.running < a.cfg.maxConcurrent() && a.memInUse+memBytes <= a.cfg.memoryBudget() {
+			a.running++
+			a.memInUse += memBytes
+			if queued {
+				a.queued--
+			}
+			a.mu.Unlock()
+			return a.releaseFunc(memBytes), nil
+		}
+		if !queued {
+			// The slot check above ran first, so an idle service admits even
+			// at MaxQueue = 0.
+			if a.queued >= a.cfg.maxQueue() {
+				a.mu.Unlock()
+				return nil, ErrQueueFull
+			}
+			a.queued++
+			queued = true
+		}
+		wake := a.wake
+		a.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.queued--
+			a.mu.Unlock()
+			return nil, ctx.Err()
+		case <-wake:
+		}
+		a.mu.Lock()
+	}
+}
+
+// releaseFunc returns the idempotent slot release for one admitted request.
+func (a *admission) releaseFunc(memBytes int64) func() {
+	released := false
+	return func() {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		a.running--
+		a.memInUse -= memBytes
+		close(a.wake)
+		a.wake = make(chan struct{})
+	}
+}
+
+// Drain stops admitting (queued waiters fail with ErrDraining immediately)
+// and blocks until every running request has released its slot, or until
+// ctx expires. Idempotent; concurrent calls all wait.
+func (a *admission) Drain(ctx context.Context) error {
+	a.mu.Lock()
+	if !a.draining {
+		a.draining = true
+		close(a.wake)
+		a.wake = make(chan struct{})
+	}
+	for a.running > 0 {
+		wake := a.wake
+		a.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-wake:
+		}
+		a.mu.Lock()
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// Load reports the gate's instantaneous state.
+func (a *admission) Load() (running, queued int, memInUse int64, draining bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.running, a.queued, a.memInUse, a.draining
+}
+
+// RetryAfterSeconds estimates when a shed request is worth retrying: one
+// second per queued request ahead of it, at least one. Deliberately
+// clock-free — it is a hint derived from queue depth, not a promise.
+func (a *admission) RetryAfterSeconds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.queued < 1 {
+		return 1
+	}
+	return a.queued
+}

@@ -1,0 +1,244 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestAdmitFastPath: an idle gate admits immediately, and release frees the
+// slot for the next request.
+func TestAdmitFastPath(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1})
+	release, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	running, queued, _, _ := a.Load()
+	if running != 1 || queued != 0 {
+		t.Fatalf("load = (%d running, %d queued), want (1, 0)", running, queued)
+	}
+	release()
+	release() // idempotent
+	running, _, _, _ = a.Load()
+	if running != 0 {
+		t.Fatalf("running after release = %d, want 0", running)
+	}
+	if _, err := a.Admit(context.Background(), 0); err != nil {
+		t.Fatalf("Admit after release: %v", err)
+	}
+}
+
+// TestAdmitQueueFull: arrivals beyond MaxConcurrent+MaxQueue are shed with
+// ErrQueueFull while earlier arrivals keep waiting.
+func TestAdmitQueueFull(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1})
+	release, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	// Occupy the single queue slot.
+	waiterErr := make(chan error, 1)
+	go func() {
+		rel, err := a.Admit(context.Background(), 0)
+		if err == nil {
+			rel()
+		}
+		waiterErr <- err
+	}()
+	waitForQueued(t, a, 1)
+	// The queue is full: the next arrival is shed immediately.
+	if _, err := a.Admit(context.Background(), 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Admit with full queue = %v, want ErrQueueFull", err)
+	}
+	if ra := a.RetryAfterSeconds(); ra < 1 {
+		t.Fatalf("RetryAfterSeconds = %d, want >= 1", ra)
+	}
+	release()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+// TestAdmitContextCancelWhileQueued: a queued waiter that gives up leaves
+// the queue count consistent.
+func TestAdmitContextCancelWhileQueued(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4})
+	release, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(ctx, 0)
+		waiterErr <- err
+	}()
+	waitForQueued(t, a, 1)
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter = %v, want context.Canceled", err)
+	}
+	_, queued, _, _ := a.Load()
+	if queued != 0 {
+		t.Fatalf("queued after cancel = %d, want 0", queued)
+	}
+	release()
+}
+
+// TestAdmitMemoryBudget: a request that cannot fit right now queues until
+// memory frees; one that can never fit is rejected outright.
+func TestAdmitMemoryBudget(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 4, MaxQueue: 4, MemoryBudgetBytes: 100})
+	if _, err := a.Admit(context.Background(), 101); !errors.Is(err, ErrRequestTooLarge) {
+		t.Fatalf("oversized request = %v, want ErrRequestTooLarge", err)
+	}
+	release, err := a.Admit(context.Background(), 80)
+	if err != nil {
+		t.Fatalf("Admit(80): %v", err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel, err := a.Admit(context.Background(), 40)
+		if err == nil {
+			defer rel()
+			_, _, mem, _ := a.Load()
+			if mem != 40 {
+				err = errors.New("memory accounting off after admit")
+			}
+		}
+		got <- err
+	}()
+	waitForQueued(t, a, 1)
+	release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued-for-memory waiter: %v", err)
+	}
+}
+
+// TestDrainWaitsForInFlight: Drain rejects new arrivals at once, fails
+// queued waiters, and returns only after running requests release.
+func TestDrainWaitsForInFlight(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 4})
+	release, err := a.Admit(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(context.Background(), 0)
+		queuedErr <- err
+	}()
+	waitForQueued(t, a, 1)
+
+	drained := make(chan error, 1)
+	go func() { drained <- a.Drain(context.Background()) }()
+	if err := <-queuedErr; !errors.Is(err, ErrDraining) {
+		t.Fatalf("queued waiter during drain = %v, want ErrDraining", err)
+	}
+	if _, err := a.Admit(context.Background(), 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("new arrival during drain = %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned before release: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// Idempotent: draining an empty gate returns immediately.
+	if err := a.Drain(context.Background()); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// TestDrainContext: Drain honours its context when a request never
+// releases.
+func TestDrainContext(t *testing.T) {
+	a := newAdmission(AdmissionConfig{MaxConcurrent: 1})
+	if _, err := a.Admit(context.Background(), 0); err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck request = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestAdmitConcurrencyBound: under contention the gate never runs more than
+// MaxConcurrent at once.
+func TestAdmitConcurrencyBound(t *testing.T) {
+	const maxC, n = 3, 20
+	a := newAdmission(AdmissionConfig{MaxConcurrent: maxC, MaxQueue: n})
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := a.Admit(context.Background(), 0)
+			if err != nil {
+				t.Errorf("Admit: %v", err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak > maxC {
+		t.Fatalf("peak concurrency %d exceeds bound %d", peak, maxC)
+	}
+}
+
+// TestDeadlineResolution pins the deadline defaulting and clamping.
+func TestDeadlineResolution(t *testing.T) {
+	var c AdmissionConfig
+	if d := c.Deadline(0); d != 5*time.Minute {
+		t.Fatalf("default deadline = %v, want 5m", d)
+	}
+	if d := c.Deadline(time.Hour); d != 30*time.Minute {
+		t.Fatalf("clamped deadline = %v, want 30m", d)
+	}
+	c = AdmissionConfig{DefaultDeadline: time.Second, MaxDeadline: 2 * time.Second}
+	if d := c.Deadline(0); d != time.Second {
+		t.Fatalf("configured default = %v, want 1s", d)
+	}
+	if d := c.Deadline(5 * time.Second); d != 2*time.Second {
+		t.Fatalf("configured clamp = %v, want 2s", d)
+	}
+	if d := c.Deadline(1500 * time.Millisecond); d != 1500*time.Millisecond {
+		t.Fatalf("in-range deadline = %v, want 1.5s", d)
+	}
+}
+
+// waitForQueued spins until the gate reports n queued waiters.
+func waitForQueued(t *testing.T, a *admission, n int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, queued, _, _ := a.Load()
+		if queued == n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d queued (have %d)", n, queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,212 @@
+package service
+
+import (
+	"encoding/json"
+
+	"secureloop/internal/authblock"
+	"secureloop/internal/core"
+	"secureloop/internal/dse"
+	"secureloop/internal/model"
+	"secureloop/internal/workload"
+)
+
+// Response bodies are canonical JSON: struct-typed all the way down (no
+// maps, so no iteration-order leaks), built from the deterministic results
+// of the core pipeline, marshalled once by the leader and shared verbatim
+// with every coalesced follower. A warm repeat of an identical request
+// against a mounted store therefore returns a byte-identical body;
+// per-serving accounting (store hit, coalescing) travels in HTTP headers,
+// never in the body.
+
+// StatsBody is model.Stats on the wire.
+type StatsBody struct {
+	Cycles          int64   `json:"cycles"`
+	ComputeCycles   int64   `json:"compute_cycles"`
+	DRAMCycles      int64   `json:"dram_cycles"`
+	CryptoCycles    int64   `json:"crypto_cycles"`
+	EnergyPJ        float64 `json:"energy_pj"`
+	DRAMEnergyPJ    float64 `json:"dram_energy_pj"`
+	CryptoEnergyPJ  float64 `json:"crypto_energy_pj"`
+	OnChipEnergyPJ  float64 `json:"onchip_energy_pj"`
+	OffchipBits     int64   `json:"offchip_bits"`
+	BaseOffchipBits int64   `json:"base_offchip_bits"`
+	Utilization     float64 `json:"utilization"`
+}
+
+func statsBody(st model.Stats) StatsBody {
+	return StatsBody{
+		Cycles:          st.Cycles,
+		ComputeCycles:   st.ComputeCycles,
+		DRAMCycles:      st.DRAMCycles,
+		CryptoCycles:    st.CryptoCycles,
+		EnergyPJ:        st.EnergyPJ,
+		DRAMEnergyPJ:    st.DRAMEnergyPJ,
+		CryptoEnergyPJ:  st.CryptoEnergyPJ,
+		OnChipEnergyPJ:  st.OnChipEnergyPJ,
+		OffchipBits:     st.OffchipBits,
+		BaseOffchipBits: st.BaseOffchipBits,
+		Utilization:     st.Utilization,
+	}
+}
+
+// AssignmentBody is one AuthBlock assignment on the wire.
+type AssignmentBody struct {
+	Orientation string `json:"orientation"`
+	U           int    `json:"u"`
+}
+
+func assignmentBody(a authblock.Assignment) AssignmentBody {
+	return AssignmentBody{Orientation: a.Orientation.String(), U: a.U}
+}
+
+// CostsBody is an AuthBlock cost breakdown on the wire.
+type CostsBody struct {
+	HashWriteBits int64 `json:"hash_write_bits"`
+	HashReadBits  int64 `json:"hash_read_bits"`
+	RedundantBits int64 `json:"redundant_bits"`
+	RehashBits    int64 `json:"rehash_bits"`
+	TotalBits     int64 `json:"total_bits"`
+}
+
+func costsBody(c authblock.Costs) CostsBody {
+	return CostsBody{
+		HashWriteBits: c.HashWriteBits,
+		HashReadBits:  c.HashReadBits,
+		RedundantBits: c.RedundantBits,
+		RehashBits:    c.RehashBits,
+		TotalBits:     c.Total(),
+	}
+}
+
+// LayerBody is one scheduled layer on the wire.
+type LayerBody struct {
+	Index          int            `json:"index"`
+	Name           string         `json:"name"`
+	Choice         int            `json:"choice"`
+	Stats          StatsBody      `json:"stats"`
+	OfmapAuthBlock AssignmentBody `json:"ofmap_authblock"`
+}
+
+// TrafficBody is the network-total authentication overhead on the wire.
+type TrafficBody struct {
+	HashBits      int64 `json:"hash_bits"`
+	RedundantBits int64 `json:"redundant_bits"`
+	RehashBits    int64 `json:"rehash_bits"`
+}
+
+// ScheduleResponse is the /v1/schedule result.
+type ScheduleResponse struct {
+	Network   string      `json:"network"`
+	Algorithm string      `json:"algorithm"`
+	Arch      string      `json:"arch"`
+	Crypto    string      `json:"crypto"`
+	Total     StatsBody   `json:"total"`
+	Traffic   TrafficBody `json:"traffic"`
+	Layers    []LayerBody `json:"layers"`
+}
+
+func scheduleResponse(req *ScheduleRequest, res *core.NetworkResult) *ScheduleResponse {
+	out := &ScheduleResponse{
+		Network:   networkLabel(req.Network),
+		Algorithm: req.Algorithm.String(),
+		Arch:      req.Spec.Name,
+		Crypto:    req.Crypto.String(),
+		Total:     statsBody(res.Total),
+		Traffic: TrafficBody{
+			HashBits:      res.Traffic.HashBits,
+			RedundantBits: res.Traffic.RedundantBits,
+			RehashBits:    res.Traffic.RehashBits,
+		},
+		Layers: make([]LayerBody, 0, len(res.Layers)),
+	}
+	for i := range res.Layers {
+		lr := &res.Layers[i]
+		out.Layers = append(out.Layers, LayerBody{
+			Index:          lr.Index,
+			Name:           req.Network.Layers[lr.Index].Name,
+			Choice:         lr.Choice,
+			Stats:          statsBody(lr.Stats),
+			OfmapAuthBlock: assignmentBody(lr.OfmapAssignment),
+		})
+	}
+	return out
+}
+
+// PointBody is one design point on the wire.
+type PointBody struct {
+	Label                 string  `json:"label"`
+	Arch                  string  `json:"arch"`
+	Crypto                string  `json:"crypto"`
+	AreaMM2               float64 `json:"area_mm2"`
+	CryptoAreaOverheadPct float64 `json:"crypto_area_overhead_pct"`
+	Cycles                int64   `json:"cycles"`
+	EnergyPJ              float64 `json:"energy_pj"`
+	UnsecureCycles        int64   `json:"unsecure_cycles"`
+	Slowdown              float64 `json:"slowdown"`
+	Pareto                bool    `json:"pareto"`
+}
+
+func pointBody(d dse.DesignPoint) PointBody {
+	return PointBody{
+		Label:                 d.Label(),
+		Arch:                  d.Spec.Name,
+		Crypto:                d.Crypto.String(),
+		AreaMM2:               d.AreaMM2,
+		CryptoAreaOverheadPct: d.CryptoAreaOverheadPct,
+		Cycles:                d.Cycles,
+		EnergyPJ:              d.EnergyPJ,
+		UnsecureCycles:        d.UnsecureCycles,
+		Slowdown:              d.Slowdown(),
+		Pareto:                d.Pareto,
+	}
+}
+
+// SweepResponse is the /v1/sweep result. FrontOnly mirrors the request's
+// Front flag: when set, Points holds only the Pareto front.
+type SweepResponse struct {
+	Network   string      `json:"network"`
+	Algorithm string      `json:"algorithm"`
+	FrontOnly bool        `json:"front_only"`
+	Points    []PointBody `json:"points"`
+}
+
+// AuthBlockResponse is the /v1/authblock result.
+type AuthBlockResponse struct {
+	Optimal  AssignmentBody `json:"optimal"`
+	Costs    CostsBody      `json:"costs"`
+	Baseline CostsBody      `json:"tile_baseline"`
+	// BaselineRehash reports whether the tile-as-an-AuthBlock baseline had
+	// to fall back to an explicit rehash pass.
+	BaselineRehash bool `json:"tile_baseline_rehash"`
+	// Sweep is the optional u = 1..MaxU cost curve (request MaxU > 0).
+	Sweep []SweepEntryBody `json:"sweep,omitempty"`
+	// SweepOrientation names the orientation Sweep was taken along.
+	SweepOrientation string `json:"sweep_orientation,omitempty"`
+}
+
+// SweepEntryBody is one block size's cost on the wire.
+type SweepEntryBody struct {
+	U     int       `json:"u"`
+	Costs CostsBody `json:"costs"`
+}
+
+// encodeBody marshals a response into its canonical transport bytes: one
+// JSON document with a trailing newline. Responses are struct-typed (no
+// maps), so the encoding is deterministic — the byte-identity contract of
+// warm repeats rests on this function.
+func encodeBody(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// networkLabel names a network for responses; parsed inline networks may
+// carry no name.
+func networkLabel(net *workload.Network) string {
+	if net.Name != "" {
+		return net.Name
+	}
+	return "custom"
+}

@@ -1,0 +1,441 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"secureloop/internal/arch"
+	"secureloop/internal/authblock"
+	"secureloop/internal/core"
+	"secureloop/internal/cryptoengine"
+	"secureloop/internal/mapper"
+	"secureloop/internal/obs"
+	"secureloop/internal/store"
+	"secureloop/internal/workload"
+)
+
+// tinyNetwork is a deliberately small two-layer chain: large enough to
+// exercise the full pipeline (mapping, AuthBlock, annealing), small enough
+// to schedule in milliseconds.
+func tinyNetwork() *workload.Network {
+	mk := func(name string, c, m int) workload.Layer {
+		return workload.Layer{
+			Name: name, C: c, M: m, R: 3, S: 3, P: 7, Q: 7,
+			StrideH: 1, StrideW: 1, PadH: 1, PadW: 1,
+			N: 1, WordBits: 16,
+		}
+	}
+	return &workload.Network{
+		Name:     "tiny2",
+		Layers:   []workload.Layer{mk("l0", 8, 16), mk("l1", 16, 8)},
+		Segments: [][]int{{0, 1}},
+	}
+}
+
+func tinyScheduleRequest() *ScheduleRequest {
+	return &ScheduleRequest{
+		Network:          tinyNetwork(),
+		Spec:             arch.Base(),
+		Crypto:           cryptoengine.Config{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1},
+		Algorithm:        core.CryptOptCross,
+		AnnealIterations: 40,
+	}
+}
+
+// TestScheduleKeyTiers: every result-bearing request knob changes the
+// canonical key; pure labels do not.
+func TestScheduleKeyTiers(t *testing.T) {
+	base := persistScheduleKey(tinyScheduleRequest())
+	mutate := func(name string, f func(*ScheduleRequest), want bool) {
+		req := tinyScheduleRequest()
+		f(req)
+		changed := persistScheduleKey(req) != base
+		if changed != want {
+			t.Errorf("%s: key changed = %v, want %v", name, changed, want)
+		}
+	}
+	mutate("algorithm", func(r *ScheduleRequest) { r.Algorithm = core.CryptTileSingle }, true)
+	mutate("objective", func(r *ScheduleRequest) { r.Objective = core.MinEDP }, true)
+	mutate("topk", func(r *ScheduleRequest) { r.TopK = 3 }, true)
+	mutate("anneal", func(r *ScheduleRequest) { r.AnnealIterations = 41 }, true)
+	mutate("mapper mode", func(r *ScheduleRequest) { r.Mapper.Mode = mapper.Guided }, true)
+	mutate("mapper epsilon", func(r *ScheduleRequest) { r.Mapper.Epsilon = 0.25 }, true)
+	mutate("mapper warmstart", func(r *ScheduleRequest) { r.Mapper.DisableWarmStart = true }, true)
+	mutate("pes", func(r *ScheduleRequest) { r.Spec.PEsX = 16 }, true)
+	mutate("glb", func(r *ScheduleRequest) { r.Spec.GlobalBufferBytes *= 2 }, true)
+	mutate("dram", func(r *ScheduleRequest) { r.Spec.DRAM = arch.HBM2x64 }, true)
+	mutate("crypto count", func(r *ScheduleRequest) { r.Crypto.CountPerDatatype = 2 }, true)
+	mutate("layer shape", func(r *ScheduleRequest) { r.Network.Layers[0].C = 12 }, true)
+	mutate("segments", func(r *ScheduleRequest) { r.Network.Segments = [][]int{{0}, {1}} }, true)
+	mutate("network name", func(r *ScheduleRequest) { r.Network.Name = "renamed" }, false)
+	mutate("layer name", func(r *ScheduleRequest) { r.Network.Layers[0].Name = "renamed" }, false)
+	mutate("arch name", func(r *ScheduleRequest) { r.Spec.Name = "renamed" }, false)
+}
+
+// TestSweepKeyNeutralKnobs: the dispatch-shaping knobs (Shards, BoundSlack)
+// are excluded from the sweep identity; the result-bearing ones are not.
+func TestSweepKeyNeutralKnobs(t *testing.T) {
+	mk := func() *SweepRequest {
+		d := (&SweepRequest{
+			Network:          tinyNetwork(),
+			Algorithm:        core.CryptOptCross,
+			AnnealIterations: 40,
+		}).Defaulted()
+		return &d
+	}
+	base := persistSweepKey(mk())
+	neutral := mk()
+	neutral.Shards = 7
+	neutral.BoundSlack = 0.5
+	if persistSweepKey(neutral) != base {
+		t.Error("Shards/BoundSlack changed the sweep key; they are result-neutral")
+	}
+	front := mk()
+	front.Front = true
+	if persistSweepKey(front) == base {
+		t.Error("Front did not change the sweep key")
+	}
+	alg := mk()
+	alg.Algorithm = core.Unsecure
+	if persistSweepKey(alg) == base {
+		t.Error("Algorithm did not change the sweep key")
+	}
+	space := mk()
+	space.Specs = space.Specs[:4]
+	if persistSweepKey(space) == base {
+		t.Error("design space did not change the sweep key")
+	}
+}
+
+// countingObserver counts StageStart calls.
+type countingObserver struct {
+	obs.Nop
+	stages atomic.Int64
+}
+
+func (c *countingObserver) StageStart(obs.StageEvent) { c.stages.Add(1) }
+
+// TestScheduleWarmByteIdentical: with a persistent store mounted, the warm
+// repeat of an identical request returns byte-identical canonical bytes and
+// does zero scheduling work (no stage even starts, no AuthBlock runs).
+func TestScheduleWarmByteIdentical(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var count countingObserver
+	svc := New(Config{Store: st, Observe: &count})
+
+	cold, coldBody, err := svc.Schedule(context.Background(), tinyScheduleRequest(), SubmitOptions{})
+	if err != nil {
+		t.Fatalf("cold schedule: %v", err)
+	}
+	if count.stages.Load() == 0 {
+		t.Fatal("cold schedule started no stages")
+	}
+	if cold.Total.Cycles <= 0 {
+		t.Fatalf("cold schedule cycles = %d, want > 0", cold.Total.Cycles)
+	}
+
+	count.stages.Store(0)
+	runsBefore := authblock.OptimalRuns()
+	p, err := svc.BeginSchedule(context.Background(), tinyScheduleRequest(), SubmitOptions{})
+	if err != nil {
+		t.Fatalf("warm begin: %v", err)
+	}
+	warmBody, _, storeHit, _, err := p.Result()
+	if err != nil {
+		t.Fatalf("warm schedule: %v", err)
+	}
+	if !storeHit {
+		t.Error("warm repeat did not report a store hit")
+	}
+	if !bytes.Equal(coldBody, warmBody) {
+		t.Errorf("warm body differs from cold body:\ncold: %s\nwarm: %s", coldBody, warmBody)
+	}
+	if n := count.stages.Load(); n != 0 {
+		t.Errorf("warm repeat started %d stages, want 0", n)
+	}
+	if d := authblock.OptimalRuns() - runsBefore; d != 0 {
+		t.Errorf("warm repeat ran %d AuthBlock optimisations, want 0", d)
+	}
+	c := svc.Stats().Service
+	if c.StoreHits != 1 || c.Completed != 2 {
+		t.Errorf("counters = %+v, want 2 completed with 1 store hit", c)
+	}
+}
+
+// gateObserver blocks the first StageStart until released, signalling when
+// the leader reaches it.
+type gateObserver struct {
+	obs.Nop
+	once    sync.Once
+	entered chan struct{}
+	release chan struct{}
+}
+
+func newGateObserver() *gateObserver {
+	return &gateObserver{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *gateObserver) StageStart(obs.StageEvent) {
+	g.once.Do(func() {
+		close(g.entered)
+		<-g.release
+	})
+}
+
+// TestCoalescing: a second identical request arriving while the first
+// computes joins the same flight — one admission, one computation, shared
+// byte-identical bodies.
+func TestCoalescing(t *testing.T) {
+	gate := newGateObserver()
+	svc := New(Config{Observe: gate})
+	req := tinyScheduleRequest()
+
+	p1, err := svc.BeginSchedule(context.Background(), req, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered // the leader is mid-compute, flight registered
+
+	p2, err := svc.BeginSchedule(context.Background(), tinyScheduleRequest(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForCounter(t, &svc.coalesced, 1)
+	close(gate.release)
+
+	b1, _, _, co1, err1 := p1.Result()
+	b2, _, _, co2, err2 := p2.Result()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("results: %v / %v", err1, err2)
+	}
+	if co1 {
+		t.Error("leader reported itself coalesced")
+	}
+	if !co2 {
+		t.Error("follower did not report coalescing")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("coalesced bodies differ")
+	}
+	c := svc.Stats().Service
+	if c.Admitted != 1 || c.Coalesced != 1 || c.Completed != 1 {
+		t.Errorf("counters = %+v, want 1 admitted, 1 coalesced, 1 completed", c)
+	}
+}
+
+// TestLeaderCancelFollowerRetry: when the leader's client gives up
+// mid-compute, a patient follower retries the flight as its new leader and
+// still gets a result — one client's cancellation never poisons another's
+// request.
+func TestLeaderCancelFollowerRetry(t *testing.T) {
+	gate := newGateObserver()
+	svc := New(Config{Observe: gate})
+
+	lctx, lcancel := context.WithCancel(context.Background())
+	p1, err := svc.BeginSchedule(lctx, tinyScheduleRequest(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered
+
+	p2, err := svc.BeginSchedule(context.Background(), tinyScheduleRequest(), SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForCounter(t, &svc.coalesced, 1)
+
+	lcancel()           // the leader's client disconnects…
+	close(gate.release) // …and its compute unblocks into a dead context
+	_, _, _, _, err1 := p1.Result()
+	if !errors.Is(err1, context.Canceled) {
+		t.Fatalf("cancelled leader result = %v, want context.Canceled", err1)
+	}
+	b2, _, _, _, err2 := p2.Result()
+	if err2 != nil {
+		t.Fatalf("follower after leader cancel: %v", err2)
+	}
+	if len(b2) == 0 {
+		t.Fatal("follower got an empty body")
+	}
+}
+
+// TestPreCancelledDoesZeroWork: a request whose context is already dead
+// performs no scheduling work at all.
+func TestPreCancelledDoesZeroWork(t *testing.T) {
+	var count countingObserver
+	svc := New(Config{Observe: &count})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runsBefore := authblock.OptimalRuns()
+	_, _, err := svc.Schedule(ctx, tinyScheduleRequest(), SubmitOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled schedule = %v, want context.Canceled", err)
+	}
+	if n := count.stages.Load(); n != 0 {
+		t.Errorf("pre-cancelled request started %d stages, want 0", n)
+	}
+	if d := authblock.OptimalRuns() - runsBefore; d != 0 {
+		t.Errorf("pre-cancelled request ran %d AuthBlock optimisations, want 0", d)
+	}
+	c := svc.Stats().Service
+	if c.Cancelled != 1 {
+		t.Errorf("cancelled counter = %d, want 1", c.Cancelled)
+	}
+}
+
+// TestScheduleEvents: a Pending with events requested streams an ordered
+// progress sequence that ends before the result resolves.
+func TestScheduleEvents(t *testing.T) {
+	svc := New(Config{})
+	p, err := svc.BeginSchedule(context.Background(), tinyScheduleRequest(), SubmitOptions{Events: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []obs.Event
+	for ev := range p.Events() {
+		events = append(events, ev)
+	}
+	body, _, _, _, err := p.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty body")
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events streamed")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("event %d out of order: seq %d after %d", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+	sawStage := false
+	for _, ev := range events {
+		if ev.Kind == obs.EventStageStart {
+			sawStage = true
+		}
+	}
+	if !sawStage {
+		t.Error("no stage_start event in the stream")
+	}
+}
+
+// TestAuthBlockRoundTrip: the authblock path agrees with calling the
+// optimiser directly, including the optional sweep curve.
+func TestAuthBlockRoundTrip(t *testing.T) {
+	svc := New(Config{})
+	req := &AuthBlockRequest{
+		Producer: authblock.ProducerGrid{C: 8, H: 16, W: 16, TileC: 8, TileH: 4, TileW: 4, WritesPerTile: 1},
+		Consumer: authblock.ConsumerGrid{TileC: 8, WinH: 6, WinW: 6, StepH: 4, StepW: 4, CountC: 1, CountH: 3, CountW: 3, FetchesPerTile: 1},
+		Params:   authblock.DefaultParams(),
+		MaxU:     4,
+	}
+	resp, body, err := svc.AuthBlock(context.Background(), req, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		t.Fatal("canonical body must be newline-terminated")
+	}
+	want, err := authblock.OptimalCachedCtx(context.Background(), req.Producer, req.Consumer, req.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Optimal.U != want.Assignment.U || resp.Optimal.Orientation != want.Assignment.Orientation.String() {
+		t.Errorf("optimal = %+v, want %+v", resp.Optimal, want.Assignment)
+	}
+	if resp.Costs.TotalBits != want.Costs.Total() {
+		t.Errorf("total bits = %d, want %d", resp.Costs.TotalBits, want.Costs.Total())
+	}
+	if len(resp.Sweep) != 4 {
+		t.Errorf("sweep entries = %d, want 4", len(resp.Sweep))
+	}
+	if resp.SweepOrientation != "horizontal" {
+		t.Errorf("sweep orientation = %q, want horizontal", resp.SweepOrientation)
+	}
+}
+
+// TestSweepSmall: a 2x1 design space sweeps end to end and marks a front.
+func TestSweepSmall(t *testing.T) {
+	svc := New(Config{})
+	base := arch.Base()
+	req := &SweepRequest{
+		Network:          tinyNetwork(),
+		Specs:            []arch.Spec{base, base.WithPEs(16, 14)},
+		Cryptos:          []cryptoengine.Config{{Engine: cryptoengine.Pipelined(), CountPerDatatype: 1}},
+		Algorithm:        core.CryptOptCross,
+		AnnealIterations: 20,
+	}
+	resp, _, err := svc.Sweep(context.Background(), req, SubmitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(resp.Points))
+	}
+	pareto := 0
+	for _, p := range resp.Points {
+		if p.Cycles <= 0 {
+			t.Errorf("point %s has cycles %d", p.Label, p.Cycles)
+		}
+		if p.Pareto {
+			pareto++
+		}
+	}
+	if pareto == 0 {
+		t.Error("no Pareto point marked")
+	}
+}
+
+// TestDrainingRejects: once draining, new submissions fail with ErrDraining
+// and the counter records them.
+func TestDrainingRejects(t *testing.T) {
+	svc := New(Config{})
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := svc.Schedule(context.Background(), tinyScheduleRequest(), SubmitOptions{})
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("schedule while draining = %v, want ErrDraining", err)
+	}
+	if c := svc.Stats().Service; c.RejectedDraining != 1 {
+		t.Errorf("rejected_draining = %d, want 1", c.RejectedDraining)
+	}
+}
+
+// TestValidationErrors: malformed requests fail before admission.
+func TestValidationErrors(t *testing.T) {
+	svc := New(Config{})
+	if _, err := svc.BeginSchedule(context.Background(), &ScheduleRequest{}, SubmitOptions{}); err == nil {
+		t.Error("nil network accepted")
+	}
+	req := tinyScheduleRequest()
+	req.Algorithm = 99
+	if _, err := svc.BeginSchedule(context.Background(), req, SubmitOptions{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if c := svc.Stats().Service; c.Admitted != 0 {
+		t.Errorf("admitted = %d after only invalid requests, want 0", c.Admitted)
+	}
+}
+
+func waitForCounter(t *testing.T, c *atomic.Int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for counter to reach %d (have %d)", want, c.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"secureloop/internal/authblock"
+	"secureloop/internal/dse"
+	"secureloop/internal/mapper"
+	"secureloop/internal/store"
+)
+
+// Stats is the /v1/stats snapshot: the same counters the experiments
+// binary prints with -cachestats, as structured JSON, plus the service's
+// own request counters and the admission gate's instantaneous load.
+type Stats struct {
+	Service Counters  `json:"service"`
+	Queue   QueueLoad `json:"queue"`
+
+	MapperSearch  RatioStats      `json:"mapper_search_cache"`
+	MapperTile    RatioStats      `json:"mapper_tile_cache"`
+	MapperWarm    RatioStats      `json:"mapper_warm_store"`
+	GuidedSearch  GuidedStatsBody `json:"guided_search"`
+	AuthOptimal   RatioStats      `json:"authblock_optimal"`
+	AuthTileBlock RatioStats      `json:"authblock_tile_block"`
+	AuthDecomp    RatioStats      `json:"authblock_decomp"`
+	AuthSizes     RatioStats      `json:"authblock_sizes"`
+	SweepPrune    PruneStatsBody  `json:"sweep_prune"`
+	Store         *StoreStatsBody `json:"store,omitempty"`
+}
+
+// QueueLoad is the admission gate's instantaneous state.
+type QueueLoad struct {
+	Running  int   `json:"running"`
+	Queued   int   `json:"queued"`
+	MemInUse int64 `json:"mem_in_use_bytes"`
+	Draining bool  `json:"draining"`
+}
+
+// RatioStats is the common hit/miss cache shape. Fields a given cache does
+// not track stay zero.
+type RatioStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Shared    int64 `json:"shared,omitempty"`
+	Stores    int64 `json:"stores,omitempty"`
+	Evictions int64 `json:"evictions,omitempty"`
+	Runs      int64 `json:"runs,omitempty"`
+	Entries   int64 `json:"entries"`
+}
+
+// GuidedStatsBody is the guided mapper search's counters on the wire.
+type GuidedStatsBody struct {
+	Searches  int64 `json:"searches"`
+	Evaluated int64 `json:"evaluated"`
+	Pruned    int64 `json:"pruned"`
+	Skipped   int64 `json:"skipped"`
+	WarmSeeds int64 `json:"warm_seeds"`
+}
+
+// PruneStatsBody is the sweep coordinator's counters on the wire.
+type PruneStatsBody struct {
+	Bounded     int64 `json:"bounded"`
+	Pruned      int64 `json:"pruned"`
+	Deferred    int64 `json:"deferred"`
+	Reevaluated int64 `json:"reevaluated"`
+	FullEvals   int64 `json:"full_evals"`
+	StoreHits   int64 `json:"store_hits"`
+}
+
+// StoreStatsBody is the persistent store's counters on the wire.
+type StoreStatsBody struct {
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Puts            int64 `json:"puts"`
+	Corrupt         int64 `json:"corrupt"`
+	EvictedSegments int64 `json:"evicted_segments"`
+	Entries         int   `json:"entries"`
+	Bytes           int64 `json:"bytes"`
+}
+
+// Stats snapshots every counter the service can observe.
+func (s *Service) Stats() Stats {
+	out := Stats{Service: s.counters()}
+	out.Queue.Running, out.Queue.Queued, out.Queue.MemInUse, out.Queue.Draining = s.adm.Load()
+
+	ms := mapper.CacheStats()
+	out.MapperSearch = RatioStats{Hits: ms.Hits, Misses: ms.Misses, Shared: ms.Shared, Entries: ms.Entries}
+	ts := mapper.TileCacheStats()
+	out.MapperTile = RatioStats{Hits: ts.Hits, Misses: ts.Misses, Evictions: ts.Evictions, Entries: ts.Entries}
+	ws := mapper.WarmStartStats()
+	out.MapperWarm = RatioStats{Hits: ws.Hits, Misses: ws.Misses, Stores: ws.Stores, Evictions: ws.Evictions, Entries: ws.Entries}
+	gs := mapper.GuidedSearchStats()
+	out.GuidedSearch = GuidedStatsBody{Searches: gs.Searches, Evaluated: gs.Evaluated, Pruned: gs.Pruned, Skipped: gs.Skipped, WarmSeeds: gs.WarmSeeds}
+	opt, tile := authblock.CacheStats()
+	out.AuthOptimal = RatioStats{Hits: opt.Hits, Misses: opt.Misses, Runs: opt.Runs, Entries: opt.Entries}
+	out.AuthTileBlock = RatioStats{Hits: tile.Hits, Misses: tile.Misses, Entries: tile.Entries}
+	dc, sc := authblock.DecompCacheStats()
+	out.AuthDecomp = RatioStats{Hits: dc.Hits, Misses: dc.Misses, Evictions: dc.Evictions, Entries: dc.Entries}
+	out.AuthSizes = RatioStats{Hits: sc.Hits, Misses: sc.Misses, Evictions: sc.Evictions, Entries: sc.Entries}
+	ps := dse.PruneStats()
+	out.SweepPrune = PruneStatsBody{Bounded: ps.Bounded, Pruned: ps.Pruned, Deferred: ps.Deferred, Reevaluated: ps.Reevaluated, FullEvals: ps.FullEvals, StoreHits: ps.StoreHits}
+	if st := s.cfg.Store; st != nil {
+		out.Store = storeStatsBody(st.Stats())
+	}
+	return out
+}
+
+func storeStatsBody(ss store.Stats) *StoreStatsBody {
+	return &StoreStatsBody{
+		Hits:            ss.Hits,
+		Misses:          ss.Misses,
+		Puts:            ss.Puts,
+		Corrupt:         ss.Corrupt,
+		EvictedSegments: ss.EvictedSegments,
+		Entries:         ss.Entries,
+		Bytes:           ss.Bytes,
+	}
+}
+
+func (s *Service) counters() Counters {
+	return Counters{
+		Admitted:          s.admitted.Load(),
+		Coalesced:         s.coalesced.Load(),
+		RejectedQueueFull: s.rejQueue.Load(),
+		RejectedTooLarge:  s.rejLarge.Load(),
+		RejectedDraining:  s.rejDraining.Load(),
+		Completed:         s.completed.Load(),
+		Failed:            s.failed.Load(),
+		Cancelled:         s.cancelled.Load(),
+		StoreHits:         s.storeHits.Load(),
+	}
+}
