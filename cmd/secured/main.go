@@ -96,6 +96,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 
 	srv := &http.Server{
 		Handler: httpapi.NewHandler(svc, httpapi.Options{MaxBodyBytes: *maxBodyMB << 20}),
+		// Slowloris guard: bound header reads and idle keep-alives.
+		// WriteTimeout stays 0 — SSE responses stream for the life of the
+		// request (the per-request deadline bounds them instead).
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
 	errCh := make(chan error, 1)
 	go func() {

@@ -42,6 +42,18 @@ func persistOptimalKey(k cacheKey) store.Key {
 	return e.Key()
 }
 
+// StoredOptimal reports whether the persistent store already holds the
+// optimal-assignment record for this exact search — the record
+// OptimalStoredCtx would replay instead of searching. A peek only (no
+// value read, no hit/miss counted): false when st is nil, and a true can
+// still fall back to a full search if the record fails to decode.
+func StoredOptimal(st *store.Store, p ProducerGrid, c ConsumerGrid, par Params) bool {
+	if st == nil {
+		return false
+	}
+	return st.Has(persistOptimalKey(cacheKey{p: p, c: c, par: par}))
+}
+
 func encodeResult(r Result) []byte {
 	return store.NewEnc().
 		Int(int64(r.Assignment.Orientation)).Int(int64(r.Assignment.U)).

@@ -61,11 +61,13 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("secured: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
-// IsRetryable reports the request was shed by load and worth retrying
-// after Accounting.RetryAfterSeconds.
+// IsRetryable reports the request was shed by load or timed out against
+// its deadline — worth retrying after Accounting.RetryAfterSeconds (shed)
+// or with a longer deadline (504).
 func (e *APIError) IsRetryable() bool {
 	return e.StatusCode == http.StatusTooManyRequests ||
-		e.StatusCode == http.StatusServiceUnavailable
+		e.StatusCode == http.StatusServiceUnavailable ||
+		e.StatusCode == http.StatusGatewayTimeout
 }
 
 func accountingFrom(hdr http.Header) Accounting {

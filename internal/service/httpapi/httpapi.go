@@ -16,6 +16,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +27,10 @@ import (
 
 	"secureloop/internal/service"
 )
+
+// statusClientClosedRequest is nginx's convention for a request whose
+// client went away before the response; net/http has no constant for it.
+const statusClientClosedRequest = 499
 
 // Options tunes the handler.
 type Options struct {
@@ -72,6 +77,12 @@ func (h *handler) writeError(w http.ResponseWriter, r *http.Request, err error) 
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, service.ErrRequestTooLarge):
 		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, context.DeadlineExceeded):
+		// The per-request deadline expired — a designed admission-control
+		// outcome, not a server fault; retryable with a longer deadline.
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
 	case isClientError(err):
 		status = http.StatusBadRequest
 	}

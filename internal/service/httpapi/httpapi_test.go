@@ -176,6 +176,32 @@ func TestQueueFullReturns429(t *testing.T) {
 	}
 }
 
+// TestDeadlineReturns504: a request that outlives its own deadline maps to
+// 504 Gateway Timeout — a designed admission-control outcome, retryable
+// with a longer deadline — not a 500.
+func TestDeadlineReturns504(t *testing.T) {
+	gate := newGateObserver()
+	_, c := newServer(t, service.Config{Observe: gate})
+	wire := tinyWire(40)
+	wire.DeadlineMS = 50
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := c.ScheduleBytes(context.Background(), wire)
+		errCh <- err
+	}()
+	<-gate.entered                     // compute is underway…
+	time.Sleep(100 * time.Millisecond) // …and its 50ms deadline lapses
+	close(gate.release)                // compute unblocks into the expired context
+	err := <-errCh
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("deadline expiry = %v, want HTTP 504", err)
+	}
+	if !apiErr.IsRetryable() {
+		t.Error("504 not reported retryable")
+	}
+}
+
 // TestDisconnectCancelsCompute: a client that abandons its request cancels
 // the scheduling context server-side. The handler is wrapped so the test
 // can hold the compute (via the gate) until the server has demonstrably

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -197,7 +198,10 @@ func (s *Service) submit(ctx context.Context, key store.Key, opts SubmitOptions,
 }
 
 // drive is the submit goroutine body: join or lead flights until one
-// resolves, forwarding its events into out (when non-nil).
+// resolves, forwarding its events into out (when non-nil). The leader's
+// compute runs in its own goroutine so this one can keep draining the
+// subscription while it works — events reach out live, and a subscriber
+// can never fill the fanout buffer unread during compute.
 func (s *Service) drive(ctx context.Context, key store.Key, opts SubmitOptions, out chan obs.Event, run runFunc) (body []byte, value any, storeHit, coalesced bool, err error) {
 	everCoalesced := false
 	for {
@@ -211,22 +215,31 @@ func (s *Service) drive(ctx context.Context, key store.Key, opts SubmitOptions, 
 			sub = fl.fan.Subscribe(s.cfg.eventBuffer())
 		}
 		if leader {
-			s.lead(ctx, key, fl, opts, run)
+			go s.lead(ctx, key, fl, opts, run)
 		}
 		forward(ctx, fl, sub, out)
-		select {
-		case <-fl.done:
-		case <-ctx.Done():
-			if sub != nil {
-				sub.Unsubscribe()
+		if leader {
+			// The flight is bound to our context, so it always finishes:
+			// wait for it rather than racing ctx.Done, keeping the result
+			// fields and counters settled before the Pending resolves.
+			<-fl.done
+		} else {
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				if sub != nil {
+					sub.Unsubscribe()
+				}
+				return nil, nil, false, everCoalesced, ctx.Err()
 			}
-			return nil, nil, false, everCoalesced, ctx.Err()
 		}
-		if fl.err == nil || ctx.Err() != nil || !isCtxErr(fl.err) {
+		if fl.err == nil || leader || ctx.Err() != nil || !isCtxErr(fl.err) {
 			return fl.body, fl.value, fl.storeHit, everCoalesced, fl.err
 		}
 		// The flight died of a context failure that is not ours: its leader
-		// gave up. Retry — the next round may make us the leader.
+		// gave up. Retry — the next round may make us the leader. (A leader
+		// returns its own flight's outcome above — including its deadline
+		// expiry — and never retries.)
 	}
 }
 
@@ -244,8 +257,9 @@ func (s *Service) joinOrLead(key store.Key) (*flight, bool) {
 }
 
 // lead runs the leader's side of one flight: admission, deadline, compute,
-// publish, retire. It runs synchronously in the driving goroutine — the
-// flight's lifetime is the leader's context.
+// publish, retire. It runs in its own goroutine (the driving goroutine
+// forwards events concurrently); the flight's lifetime is the leader's
+// context.
 func (s *Service) lead(ctx context.Context, key store.Key, fl *flight, opts SubmitOptions, run runFunc) {
 	finish := func(value any, body []byte, storeHit bool, err error) {
 		s.mu.Lock()
@@ -296,10 +310,10 @@ func (s *Service) account(storeHit bool, err error) {
 
 // forward drains sub into out without blocking the flight: it copies events
 // as they arrive until the flight finishes or the caller's context ends.
-// Runs inline in the driving goroutine for followers and leaders alike —
-// for leaders the compute runs first (lead is synchronous), so forward
-// drains the buffered events afterwards; subscribers needing live streaming
-// consume Pending.Events concurrently from their own goroutine.
+// Runs inline in the driving goroutine for followers and leaders alike,
+// concurrently with the compute (lead runs in its own goroutine), so events
+// stream into out live; the leader subscribes before compute starts, so it
+// misses none.
 func forward(ctx context.Context, fl *flight, sub *obs.Subscription, out chan obs.Event) {
 	if sub == nil {
 		return
@@ -418,7 +432,7 @@ func (s *Service) BeginSweep(ctx context.Context, req *SweepRequest, opts Submit
 		return nil, err
 	}
 	if opts.MemoryEstimate == 0 {
-		opts.MemoryEstimate = sweepMemEstimate(req)
+		opts.MemoryEstimate = s.sweepMemEstimate(req)
 	}
 	return s.submit(ctx, persistSweepKey(req), opts, func(ctx context.Context, ob obs.Observer) (any, []byte, bool, error) {
 		return s.SweepBody(ctx, req, ob)
@@ -499,6 +513,7 @@ func (s *Service) AuthBlockBody(ctx context.Context, req *AuthBlockRequest, ob o
 	var err error
 	storeHit := false
 	if st := s.cfg.Store; st != nil {
+		storeHit = authblock.StoredOptimal(st, req.Producer, req.Consumer, req.Params)
 		opt, err = authblock.OptimalStoredCtx(ctx, st, req.Producer, req.Consumer, req.Params)
 	} else {
 		opt, err = authblock.OptimalCachedCtx(ctx, req.Producer, req.Consumer, req.Params)
@@ -539,9 +554,14 @@ func scheduleMemEstimate(req *ScheduleRequest) int64 {
 	return base + int64(len(req.Network.Layers))*perLayer
 }
 
-// sweepMemEstimate scales the schedule estimate by the worker-pool breadth:
-// at most MaxParallel (or GOMAXPROCS) design points evaluate at once.
-func sweepMemEstimate(req *SweepRequest) int64 {
+// sweepMemEstimate scales the schedule estimate by this service's
+// per-request worker-pool breadth: at most MaxParallel (default one per
+// CPU) design points evaluate at once within one sweep.
+func (s *Service) sweepMemEstimate(req *SweepRequest) int64 {
 	per := scheduleMemEstimate(&ScheduleRequest{Network: req.Network})
-	return per * int64(AdmissionConfig{}.maxConcurrent())
+	breadth := s.cfg.MaxParallel
+	if breadth <= 0 {
+		breadth = runtime.GOMAXPROCS(0)
+	}
+	return per * int64(breadth)
 }

@@ -330,6 +330,81 @@ func TestScheduleEvents(t *testing.T) {
 	}
 }
 
+// TestLeaderEventsLive: a leader's progress events reach Pending.Events
+// while compute is still running — not only after the result is ready.
+// The gate blocks compute inside the first stage (after the fanout has
+// already published the stage_start), so a live event must arrive while
+// the result is provably unresolved.
+func TestLeaderEventsLive(t *testing.T) {
+	gate := newGateObserver()
+	svc := New(Config{Observe: gate})
+	p, err := svc.BeginSchedule(context.Background(), tinyScheduleRequest(), SubmitOptions{Events: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-gate.entered // compute is blocked mid-stage; the result cannot be ready
+	select {
+	case _, ok := <-p.Events():
+		if !ok {
+			t.Fatal("events closed while compute was still gated")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no live event within 5s while compute was blocked")
+	}
+	select {
+	case <-p.Done():
+		t.Fatal("result resolved while compute was gated")
+	default:
+	}
+	close(gate.release)
+	for range p.Events() {
+	}
+	if _, _, _, _, err := p.Result(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAuthBlockWarmStoreHit: with a persistent store mounted, a repeated
+// authblock request reports a store hit (header accounting and the service
+// StoreHits counter) and runs no optimal search.
+func TestAuthBlockWarmStoreHit(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	svc := New(Config{Store: st})
+	req := &AuthBlockRequest{
+		Producer: authblock.ProducerGrid{C: 4, H: 20, W: 20, TileC: 4, TileH: 5, TileW: 5, WritesPerTile: 1},
+		Consumer: authblock.ConsumerGrid{TileC: 4, WinH: 7, WinW: 7, StepH: 5, StepW: 5, CountC: 1, CountH: 3, CountW: 3, FetchesPerTile: 1},
+		Params:   authblock.DefaultParams(),
+	}
+	begin := func() (storeHit bool) {
+		p, err := svc.BeginAuthBlock(context.Background(), req, SubmitOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, storeHit, _, err = p.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return storeHit
+	}
+	if begin() {
+		t.Error("cold authblock request reported a store hit")
+	}
+	runsBefore := authblock.OptimalRuns()
+	if !begin() {
+		t.Error("warm authblock repeat did not report a store hit")
+	}
+	if d := authblock.OptimalRuns() - runsBefore; d != 0 {
+		t.Errorf("warm repeat ran %d optimal searches, want 0", d)
+	}
+	if c := svc.Stats().Service; c.StoreHits != 1 {
+		t.Errorf("store_hits = %d, want 1", c.StoreHits)
+	}
+}
+
 // TestAuthBlockRoundTrip: the authblock path agrees with calling the
 // optimiser directly, including the optional sweep curve.
 func TestAuthBlockRoundTrip(t *testing.T) {
